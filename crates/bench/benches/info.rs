@@ -1,0 +1,39 @@
+//! P4: quantitative-measure scaling — mutual information on the §7.4
+//! mod-adder and Blahut–Arimoto capacity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sd_core::{examples, History, ObjSet, OpId, Phi};
+use sd_info::{Channel, Dist};
+
+fn bench_bits(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bits_equivocation");
+    for k in [3u32, 5, 6] {
+        let sys = examples::mod_adder_system(k).expect("adder builds");
+        let u = sys.universe();
+        let a1 = u.obj("a1").expect("a1");
+        let b = u.obj("beta").expect("beta");
+        let d = Dist::uniform(&sys, &Phi::True).expect("uniform dist");
+        let h = History::single(OpId(0));
+        g.bench_with_input(BenchmarkId::from_parameter(k), &sys, |bch, sys| {
+            bch.iter(|| {
+                sd_info::bits_equivocation(sys, &d, &ObjSet::singleton(a1), b, &h)
+                    .expect("bits computed")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_capacity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blahut_arimoto");
+    for m in [2usize, 4, 8, 16] {
+        let ch = Channel::symmetric(m, 0.1).expect("channel builds");
+        g.bench_with_input(BenchmarkId::from_parameter(m), &ch, |b, ch| {
+            b.iter(|| ch.capacity(1e-9, 10_000).expect("capacity converges"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bits, bench_capacity);
+criterion_main!(benches);

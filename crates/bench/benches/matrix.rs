@@ -1,0 +1,63 @@
+//! Matrix-substrate benchmarks: confinement verification and the
+//! secure-configuration proof as the matrix grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sd_core::Phi;
+use sd_matrix::{Confinement, MatrixBuilder, SecurityPolicy};
+
+fn bench_confinement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("confinement");
+    g.sample_size(10);
+    for files in [2usize, 3] {
+        let mut b = MatrixBuilder::new().subject("u").file("secret", 2);
+        for i in 1..files {
+            b = b.file(&format!("f{i}"), 2);
+        }
+        let m = b.file("spy", 2).build().expect("matrix builds");
+        let conf = Confinement::new(&m, &["secret"], &["spy"]).expect("policy builds");
+        let phi = sd_matrix::no_reads_of_confined(&m, &["secret"]).expect("phi builds");
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}files", files + 1)),
+            &m,
+            |bch, m| {
+                bch.iter(|| {
+                    conf.is_solution_for_pair(m, &phi, "secret", "spy")
+                        .expect("check succeeds")
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_security_proof(c: &mut Criterion) {
+    let mut g = c.benchmark_group("security_cor_4_3");
+    g.sample_size(10);
+    for files in [2usize, 3] {
+        let mut b = MatrixBuilder::new().subject("u");
+        for i in 0..files {
+            b = b.file(&format!("f{i}"), 2);
+        }
+        let m = b.build().expect("matrix builds");
+        let levels: Vec<(String, u32)> = (0..files).map(|i| (format!("f{i}"), i as u32)).collect();
+        let refs: Vec<(&str, u32)> = levels.iter().map(|(f, l)| (f.as_str(), *l)).collect();
+        let p = SecurityPolicy::new(&m, &refs, 0).expect("policy builds");
+        let phi = p.secure_configuration(&m).expect("configuration builds");
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{files}files")),
+            &m,
+            |bch, m| bch.iter(|| p.prove(m, &phi).expect("proof attempt succeeds")),
+        );
+        // Exact check for comparison.
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{files}files_exact")),
+            &m,
+            |bch, m| bch.iter(|| p.holds(m, &phi).expect("exact check succeeds")),
+        );
+        let _ = Phi::True;
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_confinement, bench_security_proof);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! P2: scaling of the exact pair-reachability decision procedure
+//! (`A ▷φ β`) in the size of the state space.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sd_bench::workloads::random_system;
+use sd_core::{ObjSet, Phi};
+
+fn bench_pair_bfs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pair_bfs");
+    for (n, k) in [(4usize, 2i64), (5, 2), (6, 2), (4, 3), (5, 3)] {
+        let sys = random_system(n, k, 4, 7).expect("workload builds");
+        let u = sys.universe();
+        let a = ObjSet::singleton(u.obj("x0").expect("x0 exists"));
+        let beta = u.obj(&format!("x{}", n - 1)).expect("last object exists");
+        let states = sys.state_count().expect("countable");
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}_{states}states")),
+            &sys,
+            |b, sys| {
+                b.iter(|| {
+                    sd_core::reach::depends(sys, &Phi::True, &a, beta).expect("depends succeeds")
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pair_bfs);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! P3 (performance side): Denning-style static certification vs the exact
+//! semantic checker on compiled programs.
+//!
+//! Static certification is syntax-directed (near-constant per statement);
+//! the exact checker pays for its precision with state exploration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sd_bench::workloads::random_program;
+use sd_core::{ObjSet, Phi};
+use sd_flow::{Classification, FiniteLattice};
+
+fn bench_static_vs_semantic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("static_vs_semantic");
+    g.sample_size(10);
+    for stmts in [4usize, 6, 8] {
+        let p = random_program(4, 2, stmts, 11);
+        let lat = FiniteLattice::two_point();
+        let hi = lat.label("H").expect("H");
+        let lo = lat.label("L").expect("L");
+        let mut cls = Classification::new().with("v0", hi);
+        for i in 1..4 {
+            cls = cls.with(format!("v{i}"), lo);
+        }
+        g.bench_with_input(BenchmarkId::new("denning_certify", stmts), &p, |b, p| {
+            b.iter(|| sd_flow::certify(p, &lat, &cls).expect("certify succeeds"))
+        });
+        let compiled = sd_lang::compile(&p).expect("program compiles");
+        let from = compiled.var("v0").expect("v0");
+        let to = compiled.var("v3").expect("v3");
+        g.bench_with_input(
+            BenchmarkId::new("semantic_exact", stmts),
+            &compiled,
+            |b, compiled| {
+                b.iter(|| {
+                    sd_core::reach::depends(
+                        &compiled.system,
+                        &compiled.at_entry(),
+                        &ObjSet::singleton(from),
+                        to,
+                    )
+                    .expect("oracle succeeds")
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("transitive_flows", stmts),
+            &compiled,
+            |b, compiled| {
+                b.iter(|| sd_flow::transitive_flows(&compiled.system).expect("flows computed"))
+            },
+        );
+        // Keep Phi referenced so the import is obviously used.
+        let _ = Phi::True;
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_static_vs_semantic);
+criterion_main!(benches);

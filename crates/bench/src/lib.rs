@@ -1,0 +1,15 @@
+//! Benchmark harness and experiment tables for the Strong Dependency
+//! reproduction.
+//!
+//! - [`table`]: plain-text table rendering used by the `experiments`
+//!   binary (which regenerates every claim in EXPERIMENTS.md);
+//! - [`workloads`]: parameterized system and program families for the
+//!   Criterion benches in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod table;
+pub mod workloads;
+
+pub use crate::table::Table;

@@ -1,0 +1,302 @@
+//! A compact bit set over dense `u64` indices.
+//!
+//! Used to represent sets of states (see [`crate::constraint::StateSet`]
+//! usage sites) without pulling in an external dependency. States are
+//! identified by their mixed-radix index in the enumerated state space, so a
+//! dense bit set is the natural representation.
+
+use core::fmt;
+
+/// A fixed-capacity set of `u64` indices in `0..len`.
+///
+/// All operations treat indices `>= len` as out of range and panic, matching
+/// the invariant that state indices are always produced by the same
+/// [`crate::universe::Universe`] the set was sized for.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: u64,
+}
+
+impl BitSet {
+    /// Creates an empty set with capacity for indices `0..len`.
+    pub fn new(len: u64) -> Self {
+        let words = vec![0u64; len.div_ceil(64) as usize];
+        BitSet { words, len }
+    }
+
+    /// Creates a set containing every index in `0..len`.
+    pub fn full(len: u64) -> Self {
+        let mut s = BitSet::new(len);
+        for (i, w) in s.words.iter_mut().enumerate() {
+            let base = (i as u64) * 64;
+            let in_range = len.saturating_sub(base).min(64);
+            *w = if in_range == 64 {
+                u64::MAX
+            } else {
+                (1u64 << in_range) - 1
+            };
+        }
+        s
+    }
+
+    /// The index capacity this set was created with.
+    pub fn capacity(&self) -> u64 {
+        self.len
+    }
+
+    /// Inserts `i`, returning whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= capacity`.
+    pub fn insert(&mut self, i: u64) -> bool {
+        assert!(i < self.len, "bitset index {i} out of range {}", self.len);
+        let w = &mut self.words[(i / 64) as usize];
+        let mask = 1u64 << (i % 64);
+        let fresh = *w & mask == 0;
+        *w |= mask;
+        fresh
+    }
+
+    /// Removes `i`, returning whether it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= capacity`.
+    pub fn remove(&mut self, i: u64) -> bool {
+        assert!(i < self.len, "bitset index {i} out of range {}", self.len);
+        let w = &mut self.words[(i / 64) as usize];
+        let mask = 1u64 << (i % 64);
+        let present = *w & mask != 0;
+        *w &= !mask;
+        present
+    }
+
+    /// Tests membership of `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= capacity`.
+    pub fn contains(&self, i: u64) -> bool {
+        assert!(i < self.len, "bitset index {i} out of range {}", self.len);
+        self.words[(i / 64) as usize] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of elements in the set.
+    pub fn count(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Whether `self ⊆ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference `self \ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Complements the set in place (relative to `0..capacity`).
+    pub fn complement(&mut self) {
+        let len = self.len;
+        for (i, w) in self.words.iter_mut().enumerate() {
+            let base = (i as u64) * 64;
+            let in_range = len.saturating_sub(base).min(64);
+            let mask = if in_range == 64 {
+                u64::MAX
+            } else {
+                (1u64 << in_range) - 1
+            };
+            *w = !*w & mask;
+        }
+    }
+
+    /// Iterates over set elements in increasing order.
+    pub fn iter(&self) -> BitSetIter<'_> {
+        BitSetIter {
+            set: self,
+            word: 0,
+            bits: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over the elements of a [`BitSet`].
+pub struct BitSetIter<'a> {
+    set: &'a BitSet,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for BitSetIter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        loop {
+            if self.bits != 0 {
+                let tz = self.bits.trailing_zeros() as u64;
+                self.bits &= self.bits - 1;
+                return Some((self.word as u64) * 64 + tz);
+            }
+            self.word += 1;
+            if self.word >= self.set.words.len() {
+                return None;
+            }
+            self.bits = self.set.words[self.word];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = u64;
+    type IntoIter = BitSetIter<'a>;
+
+    fn into_iter(self) -> BitSetIter<'a> {
+        self.iter()
+    }
+}
+
+impl FromIterator<u64> for BitSet {
+    /// Builds a set sized to the maximum element plus one.
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let items: Vec<u64> = iter.into_iter().collect();
+        let len = items.iter().copied().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(len);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64));
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.count(), 3);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn full_and_complement() {
+        let mut s = BitSet::full(100);
+        assert_eq!(s.count(), 100);
+        s.complement();
+        assert!(s.is_empty());
+        s.complement();
+        assert_eq!(s.count(), 100);
+        assert!(s.contains(99));
+    }
+
+    #[test]
+    fn full_multiple_of_64() {
+        let s = BitSet::full(128);
+        assert_eq!(s.count(), 128);
+        assert!(s.contains(127));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: BitSet = [1u64, 2, 3, 70].into_iter().collect();
+        let mut b = BitSet::new(71);
+        b.insert(2);
+        b.insert(70);
+        assert!(b.is_subset(&a));
+        assert!(!a.is_subset(&b));
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count(), 4);
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2, 70]);
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn iter_order() {
+        let s: BitSet = [5u64, 0, 63, 64, 127].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 5, 63, 64, 127]);
+    }
+
+    #[test]
+    fn empty_set_iter() {
+        let s = BitSet::new(0);
+        assert_eq!(s.iter().count(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let s = BitSet::new(10);
+        s.contains(10);
+    }
+}

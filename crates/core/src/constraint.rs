@@ -1,0 +1,250 @@
+//! Constraints φ on states (§2.4, §3.2).
+//!
+//! A constraint characterizes a set of *initial* states (§3.3 stresses that
+//! φ is an initial, not invariant, constraint). [`Phi`] is a small predicate
+//! language with logical combinators, native predicates, and extensional
+//! sets; [`Phi::sat`] computes the satisfying set over the (finite) state
+//! space, which is the representation every decision procedure works on.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::bitset::BitSet;
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::state::State;
+use crate::system::System;
+
+/// A set of states, represented as a bit set over global state indices.
+pub type StateSet = BitSet;
+
+/// A constraint on states: the φ of the paper.
+#[derive(Clone)]
+pub enum Phi {
+    /// The always-true constraint (no constraint at all).
+    True,
+    /// The unsatisfiable constraint.
+    False,
+    /// A boolean [`Expr`] over the state.
+    Expr(Expr),
+    /// A named native predicate.
+    Pred {
+        /// Display name used in certificates and debugging output.
+        name: String,
+        /// The predicate body.
+        f: Arc<dyn Fn(&System, &State) -> Result<bool> + Send + Sync>,
+    },
+    /// An extensional constraint: exactly the states in the set.
+    Set(StateSet),
+    /// Negation.
+    Not(Box<Phi>),
+    /// Conjunction.
+    And(Box<Phi>, Box<Phi>),
+    /// Disjunction (the "join" of §3.5).
+    Or(Box<Phi>, Box<Phi>),
+}
+
+impl fmt::Debug for Phi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phi::True => f.write_str("tt"),
+            Phi::False => f.write_str("ff"),
+            Phi::Expr(e) => write!(f, "Expr({e:?})"),
+            Phi::Pred { name, .. } => write!(f, "Pred({name})"),
+            Phi::Set(s) => write!(f, "Set(|{}|)", s.count()),
+            Phi::Not(p) => write!(f, "¬{p:?}"),
+            Phi::And(a, b) => write!(f, "({a:?} ∧ {b:?})"),
+            Phi::Or(a, b) => write!(f, "({a:?} ∨ {b:?})"),
+        }
+    }
+}
+
+impl Phi {
+    /// A boolean-expression constraint.
+    pub fn expr(e: Expr) -> Phi {
+        Phi::Expr(e)
+    }
+
+    /// A named native predicate.
+    pub fn pred(
+        name: impl Into<String>,
+        f: impl Fn(&System, &State) -> Result<bool> + Send + Sync + 'static,
+    ) -> Phi {
+        Phi::Pred {
+            name: name.into(),
+            f: Arc::new(f),
+        }
+    }
+
+    /// An extensional constraint from a state set.
+    pub fn from_set(s: StateSet) -> Phi {
+        Phi::Set(s)
+    }
+
+    /// Conjunction `self ∧ rhs`.
+    #[must_use]
+    pub fn and(self, rhs: Phi) -> Phi {
+        Phi::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// Disjunction `self ∨ rhs`.
+    #[must_use]
+    pub fn or(self, rhs: Phi) -> Phi {
+        Phi::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// Negation `¬self`.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Phi {
+        Phi::Not(Box::new(self))
+    }
+
+    /// Whether `σ` satisfies the constraint.
+    pub fn holds(&self, sys: &System, sigma: &State) -> Result<bool> {
+        match self {
+            Phi::True => Ok(true),
+            Phi::False => Ok(false),
+            Phi::Expr(e) => e.eval_bool(sys.universe(), sigma),
+            Phi::Pred { f, .. } => f(sys, sigma),
+            Phi::Set(s) => Ok(s.contains(sigma.encode(sys.universe()))),
+            Phi::Not(p) => Ok(!p.holds(sys, sigma)?),
+            Phi::And(a, b) => Ok(a.holds(sys, sigma)? && b.holds(sys, sigma)?),
+            Phi::Or(a, b) => Ok(a.holds(sys, sigma)? || b.holds(sys, sigma)?),
+        }
+    }
+
+    /// Computes the satisfying set `Sat(φ) = { σ | φ(σ) }`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sd_core::{examples, Expr, Phi};
+    ///
+    /// let sys = examples::threshold_system(15)?;
+    /// let alpha = sys.universe().obj("alpha")?;
+    /// let phi = Phi::expr(Expr::var(alpha).lt(Expr::int(10)));
+    /// // 10 α-values × 2 β-values.
+    /// assert_eq!(phi.sat(&sys)?.count(), 20);
+    /// # Ok::<(), sd_core::Error>(())
+    /// ```
+    pub fn sat(&self, sys: &System) -> Result<StateSet> {
+        let n = sys.state_count()?;
+        // Fast paths for extensional and trivial constraints.
+        match self {
+            Phi::True => return Ok(StateSet::full(n)),
+            Phi::False => return Ok(StateSet::new(n)),
+            Phi::Set(s) => {
+                let mut out = s.clone();
+                debug_assert_eq!(out.capacity(), n);
+                if out.capacity() != n {
+                    // Defensive: re-home a set built against another system.
+                    out = StateSet::new(n);
+                    for i in s.iter().filter(|&i| i < n) {
+                        out.insert(i);
+                    }
+                }
+                return Ok(out);
+            }
+            _ => {}
+        }
+        let mut out = StateSet::new(n);
+        for sigma in sys.states()? {
+            if self.holds(sys, &sigma)? {
+                out.insert(sigma.encode(sys.universe()));
+            }
+        }
+        Ok(out)
+    }
+
+    /// `φ1 ⊆ φ2` (Thm 2-3's ordering on constraints): every state
+    /// satisfying `self` satisfies `other`.
+    pub fn entails(&self, sys: &System, other: &Phi) -> Result<bool> {
+        Ok(self.sat(sys)?.is_subset(&other.sat(sys)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::op::{Cmd, Op};
+    use crate::universe::{Domain, Universe};
+
+    fn sys() -> System {
+        let u = Universe::new(vec![
+            ("alpha".into(), Domain::int_range(0, 15).unwrap()),
+            ("m".into(), Domain::boolean()),
+        ])
+        .unwrap();
+        let a = u.obj("alpha").unwrap();
+        System::new(
+            u,
+            vec![Op::from_cmd(
+                "noop",
+                Cmd::when(Expr::bool(false), Cmd::assign(a, Expr::int(0))),
+            )],
+        )
+    }
+
+    #[test]
+    fn trivial_constraints() {
+        let sys = sys();
+        assert_eq!(Phi::True.sat(&sys).unwrap().count(), 32);
+        assert_eq!(Phi::False.sat(&sys).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn expr_constraint_alpha_lt_10() {
+        // The §2.2 constraint φ(σ) ≡ σ.α < 10.
+        let sys = sys();
+        let a = sys.universe().obj("alpha").unwrap();
+        let phi = Phi::expr(Expr::var(a).lt(Expr::int(10)));
+        assert_eq!(phi.sat(&sys).unwrap().count(), 10 * 2);
+    }
+
+    #[test]
+    fn combinators() {
+        let sys = sys();
+        let a = sys.universe().obj("alpha").unwrap();
+        let m = sys.universe().obj("m").unwrap();
+        let lt10 = Phi::expr(Expr::var(a).lt(Expr::int(10)));
+        let mtrue = Phi::expr(Expr::var(m));
+        let both = lt10.clone().and(mtrue.clone());
+        assert_eq!(both.sat(&sys).unwrap().count(), 10);
+        let either = lt10.clone().or(mtrue.clone());
+        assert_eq!(either.sat(&sys).unwrap().count(), 20 + 6);
+        let neither = lt10.not().and(mtrue.not());
+        assert_eq!(neither.sat(&sys).unwrap().count(), 6);
+    }
+
+    #[test]
+    fn entailment_ordering() {
+        let sys = sys();
+        let a = sys.universe().obj("alpha").unwrap();
+        let lt5 = Phi::expr(Expr::var(a).lt(Expr::int(5)));
+        let lt10 = Phi::expr(Expr::var(a).lt(Expr::int(10)));
+        assert!(lt5.entails(&sys, &lt10).unwrap());
+        assert!(!lt10.entails(&sys, &lt5).unwrap());
+        assert!(Phi::False.entails(&sys, &lt5).unwrap());
+        assert!(lt10.entails(&sys, &Phi::True).unwrap());
+    }
+
+    #[test]
+    fn native_pred_and_set_roundtrip() {
+        let sys = sys();
+        let a = sys.universe().obj("alpha").unwrap();
+        let even = Phi::pred("alpha even", move |sys, s| {
+            Ok(s.value(sys.universe(), a).as_int().unwrap_or(1) % 2 == 0)
+        });
+        let set = even.sat(&sys).unwrap();
+        assert_eq!(set.count(), 16);
+        let ext = Phi::from_set(set.clone());
+        assert_eq!(ext.sat(&sys).unwrap(), set);
+        // holds() agrees with sat() membership.
+        for sigma in sys.states().unwrap() {
+            let code = sigma.encode(sys.universe());
+            assert_eq!(ext.holds(&sys, &sigma).unwrap(), set.contains(code));
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! Strong dependency over a fixed history (Defs 2-3 … 2-11, 5-5 … 5-7).
+//!
+//! `β` strongly depends on `A` after `H` given φ when two states that
+//! satisfy φ and differ only at `A` lead, via `H`, to different values of
+//! `β`. This module decides that *for a given H*, exhaustively; the
+//! all-histories relation `A ▷φ β` lives in [`crate::reach`].
+//!
+//! The decision groups Sat(φ) into equivalence classes of the
+//! "equal-except-at-A" relation (`σ1 =A= σ2`, Def 1-1) and compares
+//! β-outcomes within each class, which is linear in |Sat(φ)| rather than
+//! quadratic.
+
+use std::collections::HashMap;
+
+use crate::constraint::Phi;
+use crate::error::Result;
+use crate::history::History;
+use crate::state::State;
+use crate::system::System;
+use crate::universe::{ObjId, ObjSet};
+
+/// A witnessing state pair `σ1 (A ▷H β) σ2` (Def 2-9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Witness {
+    /// First state of the differing pair.
+    pub sigma1: State,
+    /// Second state of the differing pair.
+    pub sigma2: State,
+}
+
+/// Partitions Sat(φ) into `=A=` equivalence classes.
+///
+/// Two states are in the same class iff they agree on every object outside
+/// `A`. Classes with a single member can never witness a dependency, but
+/// they are still returned (callers may reuse the partition).
+pub fn classes(sys: &System, phi: &Phi, a: &ObjSet) -> Result<Vec<Vec<State>>> {
+    let mut map: HashMap<Vec<u32>, Vec<State>> = HashMap::new();
+    for sigma in sys.states()? {
+        if phi.holds(sys, &sigma)? {
+            map.entry(sigma.project_complement(a))
+                .or_default()
+                .push(sigma);
+        }
+    }
+    Ok(map.into_values().collect())
+}
+
+/// Decides `A ▷φH β` (Def 2-10): returns a witness pair if β strongly
+/// depends on A after H given φ, or `None` if no information can be
+/// transmitted from A to β by H under φ.
+///
+/// # Examples
+///
+/// ```
+/// use sd_core::{depend, examples, History, ObjSet, OpId, Phi};
+///
+/// // §4.4: δ1·δ2 transmits nothing from α to β even though each step
+/// // transmits individually.
+/// let sys = examples::nontransitive_system(2)?;
+/// let u = sys.universe();
+/// let (alpha, beta) = (u.obj("alpha")?, u.obj("beta")?);
+/// let h = History::from_ops(vec![OpId(0), OpId(1)]);
+/// let w = depend::strongly_depends_after(
+///     &sys, &Phi::True, &ObjSet::singleton(alpha), beta, &h)?;
+/// assert!(w.is_none());
+/// # Ok::<(), sd_core::Error>(())
+/// ```
+pub fn strongly_depends_after(
+    sys: &System,
+    phi: &Phi,
+    a: &ObjSet,
+    beta: ObjId,
+    h: &History,
+) -> Result<Option<Witness>> {
+    for class in classes(sys, phi, a)? {
+        if class.len() < 2 {
+            continue;
+        }
+        let mut first: Option<(u32, &State)> = None;
+        for sigma in &class {
+            let out = sys.run(sigma, h)?;
+            let b = out.index(beta);
+            match first {
+                None => first = Some((b, sigma)),
+                Some((b0, s0)) => {
+                    if b != b0 {
+                        return Ok(Some(Witness {
+                            sigma1: s0.clone(),
+                            sigma2: sigma.clone(),
+                        }));
+                    }
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Decides the set-target relation `A ▷φH B` (Def 5-6): some pair of
+/// φ-states differing only at A leads to values differing at *every*
+/// object of `B` after H.
+pub fn strongly_depends_set_after(
+    sys: &System,
+    phi: &Phi,
+    a: &ObjSet,
+    b: &ObjSet,
+    h: &History,
+) -> Result<Option<Witness>> {
+    if b.is_empty() {
+        // Vacuously, any in-class pair differs at every member of ∅; the
+        // paper never uses B = ∅, so we treat it as "no dependency".
+        return Ok(None);
+    }
+    for class in classes(sys, phi, a)? {
+        if class.len() < 2 {
+            continue;
+        }
+        // Project each outcome onto B; we need a pair differing in every
+        // coordinate. Classes are small (they range only over A's domain),
+        // so a pairwise scan is fine.
+        let outcomes: Vec<Vec<u32>> = class
+            .iter()
+            .map(|s| -> Result<Vec<u32>> { Ok(sys.run(s, h)?.project(b)) })
+            .collect::<Result<_>>()?;
+        for i in 0..class.len() {
+            for j in (i + 1)..class.len() {
+                let all_differ = outcomes[i].iter().zip(&outcomes[j]).all(|(x, y)| x != y);
+                if all_differ {
+                    return Ok(Some(Witness {
+                        sigma1: class[i].clone(),
+                        sigma2: class[j].clone(),
+                    }));
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Def 2-1 specialized: whether *no* information is transmitted from α to β
+/// by H (no constraint, i.e. φ = tt).
+pub fn no_information_transmitted(
+    sys: &System,
+    alpha: ObjId,
+    beta: ObjId,
+    h: &History,
+) -> Result<bool> {
+    Ok(strongly_depends_after(sys, &Phi::True, &ObjSet::singleton(alpha), beta, h)?.is_none())
+}
+
+/// All sinks β with `A ▷φH β` for a fixed history.
+pub fn sinks_after(sys: &System, phi: &Phi, a: &ObjSet, h: &History) -> Result<ObjSet> {
+    let mut out = ObjSet::empty();
+    for class in classes(sys, phi, a)? {
+        if class.len() < 2 {
+            continue;
+        }
+        let outcomes: Vec<State> = class.iter().map(|s| sys.run(s, h)).collect::<Result<_>>()?;
+        for i in 0..outcomes.len() {
+            for j in (i + 1)..outcomes.len() {
+                for obj in outcomes[i].diff(&outcomes[j]).iter() {
+                    out.insert(obj);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::history::OpId;
+    use crate::op::{Cmd, Op};
+    use crate::universe::{Domain, Universe};
+
+    /// δ: β ← α over k-valued ints — the §2.2 copy example.
+    fn copy_sys(k: i64) -> System {
+        let u = Universe::new(vec![
+            ("alpha".into(), Domain::int_range(0, k - 1).unwrap()),
+            ("beta".into(), Domain::int_range(0, k - 1).unwrap()),
+        ])
+        .unwrap();
+        let a = u.obj("alpha").unwrap();
+        let b = u.obj("beta").unwrap();
+        System::new(u, vec![Op::from_cmd("copy", Cmd::assign(b, Expr::var(a)))])
+    }
+
+    #[test]
+    fn copy_transmits_variety() {
+        let sys = copy_sys(16);
+        let u = sys.universe();
+        let a = u.obj("alpha").unwrap();
+        let b = u.obj("beta").unwrap();
+        let h = History::single(OpId(0));
+        let w = strongly_depends_after(&sys, &Phi::True, &ObjSet::singleton(a), b, &h)
+            .unwrap()
+            .unwrap();
+        assert!(w.sigma1.eq_except(&w.sigma2, &ObjSet::singleton(a)));
+        assert_ne!(
+            sys.run(&w.sigma1, &h).unwrap().index(b),
+            sys.run(&w.sigma2, &h).unwrap().index(b)
+        );
+    }
+
+    #[test]
+    fn constant_constraint_blocks_transmission() {
+        // §2.2: if α is known to be a constant, no information flows.
+        let sys = copy_sys(16);
+        let u = sys.universe();
+        let a = u.obj("alpha").unwrap();
+        let b = u.obj("beta").unwrap();
+        let phi = Phi::expr(Expr::var(a).eq(Expr::int(7)));
+        let h = History::single(OpId(0));
+        assert!(
+            strongly_depends_after(&sys, &phi, &ObjSet::singleton(a), b, &h)
+                .unwrap()
+                .is_none()
+        );
+    }
+
+    /// δ: if α < 10 then β ← 0 else β ← 1 — the §2.2 threshold example.
+    fn threshold_sys() -> System {
+        let u = Universe::new(vec![
+            ("alpha".into(), Domain::int_range(0, 15).unwrap()),
+            ("beta".into(), Domain::int_range(0, 1).unwrap()),
+        ])
+        .unwrap();
+        let a = u.obj("alpha").unwrap();
+        let b = u.obj("beta").unwrap();
+        System::new(
+            u,
+            vec![Op::from_cmd(
+                "thresh",
+                Cmd::If(
+                    Expr::var(a).lt(Expr::int(10)),
+                    Box::new(Cmd::assign(b, Expr::int(0))),
+                    Box::new(Cmd::assign(b, Expr::int(1))),
+                ),
+            )],
+        )
+    }
+
+    #[test]
+    fn threshold_example_sec_2_2() {
+        let sys = threshold_sys();
+        let u = sys.universe();
+        let a = u.obj("alpha").unwrap();
+        let b = u.obj("beta").unwrap();
+        let h = History::single(OpId(0));
+        // Unconstrained: one bit flows.
+        assert!(
+            strongly_depends_after(&sys, &Phi::True, &ObjSet::singleton(a), b, &h)
+                .unwrap()
+                .is_some()
+        );
+        // With φ: α < 10, nothing flows.
+        let phi = Phi::expr(Expr::var(a).lt(Expr::int(10)));
+        assert!(
+            strongly_depends_after(&sys, &phi, &ObjSet::singleton(a), b, &h)
+                .unwrap()
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn reflexivity_sec_2_5() {
+        // α ▷δ α when δ preserves α; and over λ, dependency is reflexive
+        // unless φ kills α's variety (Thm 2-4).
+        let sys = copy_sys(4);
+        let u = sys.universe();
+        let a = u.obj("alpha").unwrap();
+        let lambda = History::empty();
+        assert!(
+            strongly_depends_after(&sys, &Phi::True, &ObjSet::singleton(a), a, &lambda)
+                .unwrap()
+                .is_some()
+        );
+        let constant = Phi::expr(Expr::var(a).eq(Expr::int(2)));
+        assert!(
+            strongly_depends_after(&sys, &constant, &ObjSet::singleton(a), a, &lambda)
+                .unwrap()
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn theorem_2_5_lambda_transmission_is_reflexive() {
+        // A ▷φλ β ⊃ β ∈ A.
+        let sys = copy_sys(4);
+        let u = sys.universe();
+        let a = u.obj("alpha").unwrap();
+        let b = u.obj("beta").unwrap();
+        let lambda = History::empty();
+        // β ∉ {α}: no λ-dependency.
+        assert!(
+            strongly_depends_after(&sys, &Phi::True, &ObjSet::singleton(a), b, &lambda)
+                .unwrap()
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn set_sources_thm_2_1() {
+        // δ: β ← α1 + α2 (§2.3): {α1,α2} ▷ β and each αi ▷ β.
+        let u = Universe::new(vec![
+            ("a1".into(), Domain::int_range(0, 3).unwrap()),
+            ("a2".into(), Domain::int_range(0, 3).unwrap()),
+            ("beta".into(), Domain::int_range(0, 6).unwrap()),
+        ])
+        .unwrap();
+        let a1 = u.obj("a1").unwrap();
+        let a2 = u.obj("a2").unwrap();
+        let b = u.obj("beta").unwrap();
+        let sys = System::new(
+            u,
+            vec![Op::from_cmd(
+                "add",
+                Cmd::assign(b, Expr::var(a1).add(Expr::var(a2))),
+            )],
+        );
+        let h = History::single(OpId(0));
+        let pair = ObjSet::from_iter([a1, a2]);
+        assert!(strongly_depends_after(&sys, &Phi::True, &pair, b, &h)
+            .unwrap()
+            .is_some());
+        for alpha in [a1, a2] {
+            assert!(
+                strongly_depends_after(&sys, &Phi::True, &ObjSet::singleton(alpha), b, &h)
+                    .unwrap()
+                    .is_some()
+            );
+        }
+        // Theorem 2-2 (monotonicity in A): α1 alone implies the pair.
+        assert!(strongly_depends_after(&sys, &Phi::True, &pair, b, &h)
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn set_target_def_5_6() {
+        // δ1: (m1 ← α; m2 ← α) transmits from α to the *set* {m1, m2}.
+        let u = Universe::new(vec![
+            ("alpha".into(), Domain::int_range(0, 2).unwrap()),
+            ("m1".into(), Domain::int_range(0, 2).unwrap()),
+            ("m2".into(), Domain::int_range(0, 2).unwrap()),
+        ])
+        .unwrap();
+        let a = u.obj("alpha").unwrap();
+        let m1 = u.obj("m1").unwrap();
+        let m2 = u.obj("m2").unwrap();
+        let sys = System::new(
+            u,
+            vec![Op::from_cmd(
+                "fanout",
+                Cmd::Seq(vec![
+                    Cmd::assign(m1, Expr::var(a)),
+                    Cmd::assign(m2, Expr::var(a)),
+                ]),
+            )],
+        );
+        let h = History::single(OpId(0));
+        let m12 = ObjSet::from_iter([m1, m2]);
+        let w = strongly_depends_set_after(&sys, &Phi::True, &ObjSet::singleton(a), &m12, &h)
+            .unwrap()
+            .unwrap();
+        let o1 = sys.run(&w.sigma1, &h).unwrap();
+        let o2 = sys.run(&w.sigma2, &h).unwrap();
+        assert!(o1.index(m1) != o2.index(m1) && o1.index(m2) != o2.index(m2));
+        // Theorem 5-3: set-target dependency implies each member singly.
+        for m in [m1, m2] {
+            assert!(
+                strongly_depends_after(&sys, &Phi::True, &ObjSet::singleton(a), m, &h)
+                    .unwrap()
+                    .is_some()
+            );
+        }
+        // Empty target is never a dependency.
+        assert!(strongly_depends_set_after(
+            &sys,
+            &Phi::True,
+            &ObjSet::singleton(a),
+            &ObjSet::empty(),
+            &h
+        )
+        .unwrap()
+        .is_none());
+    }
+
+    #[test]
+    fn sinks_after_collects_all_targets() {
+        let sys = copy_sys(4);
+        let u = sys.universe();
+        let a = u.obj("alpha").unwrap();
+        let b = u.obj("beta").unwrap();
+        let h = History::single(OpId(0));
+        let sinks = sinks_after(&sys, &Phi::True, &ObjSet::singleton(a), &h).unwrap();
+        // α's variety reaches both α itself (preserved) and β (copied).
+        assert!(sinks.contains(a) && sinks.contains(b));
+    }
+}

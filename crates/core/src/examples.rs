@@ -1,0 +1,509 @@
+//! Builders for every example system in the paper.
+//!
+//! Each function constructs one of the computational systems the paper uses
+//! to motivate or illustrate the theory, parameterized where the paper's
+//! choice of domain size is incidental (DESIGN.md, substitution table). The
+//! test suites, benchmarks and the experiment harness all build on these.
+
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::op::{Cmd, Op};
+use crate::system::System;
+use crate::universe::{Domain, Universe};
+use crate::value::{Rights, Value};
+
+/// §2.2: `δ: β ← α` over `k`-valued integers. With `k = 2^16` this is the
+/// paper's 16-bit example; tests use small `k`.
+pub fn copy_system(k: i64) -> Result<System> {
+    let u = Universe::new(vec![
+        ("alpha".into(), Domain::int_range(0, k - 1)?),
+        ("beta".into(), Domain::int_range(0, k - 1)?),
+    ])?;
+    let a = u.obj("alpha")?;
+    let b = u.obj("beta")?;
+    Ok(System::new(
+        u,
+        vec![Op::from_cmd("copy", Cmd::assign(b, Expr::var(a)))],
+    ))
+}
+
+/// §2.2: `δ: if α < 10 then β ← 0 else β ← 1` with `α ∈ 0..=hi`.
+pub fn threshold_system(hi: i64) -> Result<System> {
+    let u = Universe::new(vec![
+        ("alpha".into(), Domain::int_range(0, hi)?),
+        ("beta".into(), Domain::int_range(0, 1)?),
+    ])?;
+    let a = u.obj("alpha")?;
+    let b = u.obj("beta")?;
+    Ok(System::new(
+        u,
+        vec![Op::from_cmd(
+            "thresh",
+            Cmd::If(
+                Expr::var(a).lt(Expr::int(10)),
+                Box::new(Cmd::assign(b, Expr::int(0))),
+                Box::new(Cmd::assign(b, Expr::int(1))),
+            ),
+        )],
+    ))
+}
+
+/// §3.2/§3.5: `δ: if m then β ← α` with `k`-valued data.
+pub fn guarded_copy_system(k: i64) -> Result<System> {
+    let u = Universe::new(vec![
+        ("alpha".into(), Domain::int_range(0, k - 1)?),
+        ("beta".into(), Domain::int_range(0, k - 1)?),
+        ("m".into(), Domain::boolean()),
+    ])?;
+    let a = u.obj("alpha")?;
+    let b = u.obj("beta")?;
+    let m = u.obj("m")?;
+    Ok(System::new(
+        u,
+        vec![Op::from_cmd(
+            "copy",
+            Cmd::when(Expr::var(m), Cmd::assign(b, Expr::var(a))),
+        )],
+    ))
+}
+
+/// §3.3: `δ1: if flag then β ← α else β ← 0; δ2: (flag ← tt; α ← x)`.
+pub fn flag_copy_system(k: i64) -> Result<System> {
+    let u = Universe::new(vec![
+        ("alpha".into(), Domain::int_range(0, k - 1)?),
+        ("beta".into(), Domain::int_range(0, k - 1)?),
+        ("flag".into(), Domain::boolean()),
+        ("x".into(), Domain::int_range(0, k - 1)?),
+    ])?;
+    let a = u.obj("alpha")?;
+    let b = u.obj("beta")?;
+    let flag = u.obj("flag")?;
+    let x = u.obj("x")?;
+    Ok(System::new(
+        u,
+        vec![
+            Op::from_cmd(
+                "d1",
+                Cmd::If(
+                    Expr::var(flag),
+                    Box::new(Cmd::assign(b, Expr::var(a))),
+                    Box::new(Cmd::assign(b, Expr::int(0))),
+                ),
+            ),
+            Op::from_cmd(
+                "d2",
+                Cmd::Seq(vec![
+                    Cmd::assign(flag, Expr::bool(true)),
+                    Cmd::assign(a, Expr::var(x)),
+                ]),
+            ),
+        ],
+    ))
+}
+
+/// §4.4/§4.6: the non-transitive system
+/// `δ1: if q then m ← α; δ2: if ¬q then β ← m`.
+pub fn nontransitive_system(k: i64) -> Result<System> {
+    let u = Universe::new(vec![
+        ("alpha".into(), Domain::int_range(0, k - 1)?),
+        ("beta".into(), Domain::int_range(0, k - 1)?),
+        ("m".into(), Domain::int_range(0, k - 1)?),
+        ("q".into(), Domain::boolean()),
+    ])?;
+    let a = u.obj("alpha")?;
+    let b = u.obj("beta")?;
+    let m = u.obj("m")?;
+    let q = u.obj("q")?;
+    Ok(System::new(
+        u,
+        vec![
+            Op::from_cmd("d1", Cmd::when(Expr::var(q), Cmd::assign(m, Expr::var(a)))),
+            Op::from_cmd(
+                "d2",
+                Cmd::when(Expr::var(q).not(), Cmd::assign(b, Expr::var(m))),
+            ),
+        ],
+    ))
+}
+
+/// §4.3: the pointer-chain system. `n` objects, each a record
+/// `(data, ptr)` with `d` data values; operations `δ1(y, x)` (copy data
+/// along a pointer) and `δ2(y, x)` (advance a pointer), instantiated for
+/// every ordered pair `(y, x)` with `y ≠ x`.
+pub fn pointer_chain_system(n: usize, d: i64) -> Result<System> {
+    let names: Vec<String> = (0..n).map(|i| format!("o{i}")).collect();
+    let mut objects = Vec::with_capacity(n);
+    for name in &names {
+        let mut values = Vec::new();
+        for data in 0..d {
+            for ptr in 0..n {
+                values.push(Value::Record(vec![
+                    Value::Int(data),
+                    Value::Name(crate::universe::ObjId::from_index(ptr)),
+                ]));
+            }
+        }
+        objects.push((
+            name.clone(),
+            Domain::with_fields(values, vec!["data".into(), "ptr".into()])?,
+        ));
+    }
+    let u = Universe::new(objects)?;
+    let ids: Vec<_> = u.objects().collect();
+    let mut ops = Vec::new();
+    for &y in &ids {
+        for &x in &ids {
+            if y == x {
+                continue;
+            }
+            let y_points_x = Expr::var(y).field(1).eq(Expr::Const(Value::Name(x)));
+            // δ1(y, x): if y.ptr = x then y.data ← x.data.
+            ops.push(Op::from_cmd(
+                format!("d1({},{})", u.name(y), u.name(x)),
+                Cmd::when(
+                    y_points_x.clone(),
+                    Cmd::assign_field(y, 0, Expr::var(x).field(0)),
+                ),
+            ));
+            // δ2(y, x): if y.ptr = x then y.ptr ← x.ptr.
+            ops.push(Op::from_cmd(
+                format!("d2({},{})", u.name(y), u.name(x)),
+                Cmd::when(y_points_x, Cmd::assign_field(y, 1, Expr::var(x).field(1))),
+            ));
+        }
+    }
+    Ok(System::new(u, ops))
+}
+
+/// §4.6 second example: `m` is a record `(left, right)`;
+/// `δ1: m.left ← α; δ2: β ← m.right`, with `k`-valued components.
+pub fn left_right_system(k: i64) -> Result<System> {
+    let mut m_values = Vec::new();
+    for l in 0..k {
+        for r in 0..k {
+            m_values.push(Value::Record(vec![Value::Int(l), Value::Int(r)]));
+        }
+    }
+    let u = Universe::new(vec![
+        ("alpha".into(), Domain::int_range(0, k - 1)?),
+        ("beta".into(), Domain::int_range(0, k - 1)?),
+        (
+            "m".into(),
+            Domain::with_fields(m_values, vec!["left".into(), "right".into()])?,
+        ),
+    ])?;
+    let a = u.obj("alpha")?;
+    let b = u.obj("beta")?;
+    let m = u.obj("m")?;
+    Ok(System::new(
+        u,
+        vec![
+            Op::from_cmd("d1", Cmd::assign_field(m, 0, Expr::var(a))),
+            Op::from_cmd("d2", Cmd::assign(b, Expr::var(m).field(1))),
+        ],
+    ))
+}
+
+/// §5.2: `δ: β ← α1` with a bystander `α2` (for the non-autonomous
+/// constraint `α1 = α2`).
+pub fn alpha12_copy_system(k: i64) -> Result<System> {
+    let u = Universe::new(vec![
+        ("a1".into(), Domain::int_range(0, k - 1)?),
+        ("a2".into(), Domain::int_range(0, k - 1)?),
+        ("beta".into(), Domain::int_range(0, k - 1)?),
+    ])?;
+    let a1 = u.obj("a1")?;
+    let b = u.obj("beta")?;
+    Ok(System::new(
+        u,
+        vec![Op::from_cmd("copy", Cmd::assign(b, Expr::var(a1)))],
+    ))
+}
+
+/// §5.3: `δ: β ← α1 - α2` (β's domain covers the differences).
+pub fn alpha12_sub_system(k: i64) -> Result<System> {
+    let u = Universe::new(vec![
+        ("a1".into(), Domain::int_range(0, k - 1)?),
+        ("a2".into(), Domain::int_range(0, k - 1)?),
+        ("beta".into(), Domain::int_range(-(k - 1), k - 1)?),
+    ])?;
+    let a1 = u.obj("a1")?;
+    let a2 = u.obj("a2")?;
+    let b = u.obj("beta")?;
+    Ok(System::new(
+        u,
+        vec![Op::from_cmd(
+            "sub",
+            Cmd::assign(b, Expr::var(a1).sub(Expr::var(a2))),
+        )],
+    ))
+}
+
+/// §5.5: `δ1: (m1 ← α; m2 ← α); δ2: β ← m1`.
+pub fn m1m2_system(k: i64) -> Result<System> {
+    let u = Universe::new(vec![
+        ("alpha".into(), Domain::int_range(0, k - 1)?),
+        ("beta".into(), Domain::int_range(0, k - 1)?),
+        ("m1".into(), Domain::int_range(0, k - 1)?),
+        ("m2".into(), Domain::int_range(0, k - 1)?),
+    ])?;
+    let a = u.obj("alpha")?;
+    let b = u.obj("beta")?;
+    let m1 = u.obj("m1")?;
+    let m2 = u.obj("m2")?;
+    Ok(System::new(
+        u,
+        vec![
+            Op::from_cmd(
+                "d1",
+                Cmd::Seq(vec![
+                    Cmd::assign(m1, Expr::var(a)),
+                    Cmd::assign(m2, Expr::var(a)),
+                ]),
+            ),
+            Op::from_cmd("d2", Cmd::assign(b, Expr::var(m1))),
+        ],
+    ))
+}
+
+/// §6.4: the oscillator `δ: (β ← α; α ← -α)` with `α ∈ {-v, v}`.
+pub fn oscillator_system(v: i64) -> Result<System> {
+    let u = Universe::new(vec![
+        ("alpha".into(), Domain::ints([-v, v])?),
+        ("beta".into(), Domain::ints([-v, 0, v])?),
+    ])?;
+    let a = u.obj("alpha")?;
+    let b = u.obj("beta")?;
+    Ok(System::new(
+        u,
+        vec![Op::from_cmd(
+            "osc",
+            Cmd::Seq(vec![
+                Cmd::assign(b, Expr::var(a)),
+                Cmd::assign(a, Expr::var(a).neg()),
+            ]),
+        )],
+    ))
+}
+
+/// §6.5 (first flowchart), modelled with an explicit program counter:
+/// `δ1: if pc = 1 then (if q > 10 then t ← tt else t ← ff; pc ← 2)`
+/// `δ2: if pc = 2 then (if t then β ← α; pc ← 3)`.
+pub fn floyd_flowchart_system(k: i64) -> Result<System> {
+    let u = Universe::new(vec![
+        ("alpha".into(), Domain::int_range(0, k - 1)?),
+        ("beta".into(), Domain::int_range(0, k - 1)?),
+        ("q".into(), Domain::int_range(0, 15)?),
+        ("t".into(), Domain::boolean()),
+        ("pc".into(), Domain::int_range(1, 3)?),
+    ])?;
+    let a = u.obj("alpha")?;
+    let b = u.obj("beta")?;
+    let q = u.obj("q")?;
+    let t = u.obj("t")?;
+    let pc = u.obj("pc")?;
+    Ok(System::new(
+        u,
+        vec![
+            Op::from_cmd(
+                "d1",
+                Cmd::when(
+                    Expr::var(pc).eq(Expr::int(1)),
+                    Cmd::Seq(vec![
+                        Cmd::If(
+                            Expr::var(q).gt(Expr::int(10)),
+                            Box::new(Cmd::assign(t, Expr::bool(true))),
+                            Box::new(Cmd::assign(t, Expr::bool(false))),
+                        ),
+                        Cmd::assign(pc, Expr::int(2)),
+                    ]),
+                ),
+            ),
+            Op::from_cmd(
+                "d2",
+                Cmd::when(
+                    Expr::var(pc).eq(Expr::int(2)),
+                    Cmd::Seq(vec![
+                        Cmd::when(Expr::var(t), Cmd::assign(b, Expr::var(a))),
+                        Cmd::assign(pc, Expr::int(3)),
+                    ]),
+                ),
+            ),
+        ],
+    ))
+}
+
+/// §6.5 (second flowchart): `δ1` branches on α; `δ2` and `δ3` both write
+/// `β ← 0`.
+pub fn pc_branch_system() -> Result<System> {
+    let u = Universe::new(vec![
+        ("alpha".into(), Domain::boolean()),
+        ("beta".into(), Domain::ints([0, 37])?),
+        ("pc".into(), Domain::int_range(1, 4)?),
+    ])?;
+    let a = u.obj("alpha")?;
+    let b = u.obj("beta")?;
+    let pc = u.obj("pc")?;
+    let at = |i: i64| Expr::var(pc).eq(Expr::int(i));
+    Ok(System::new(
+        u,
+        vec![
+            Op::from_cmd(
+                "d1",
+                Cmd::when(
+                    at(1),
+                    Cmd::If(
+                        Expr::var(a),
+                        Box::new(Cmd::assign(pc, Expr::int(2))),
+                        Box::new(Cmd::assign(pc, Expr::int(3))),
+                    ),
+                ),
+            ),
+            Op::from_cmd(
+                "d2",
+                Cmd::when(
+                    at(2),
+                    Cmd::Seq(vec![
+                        Cmd::assign(b, Expr::int(0)),
+                        Cmd::assign(pc, Expr::int(4)),
+                    ]),
+                ),
+            ),
+            Op::from_cmd(
+                "d3",
+                Cmd::when(
+                    at(3),
+                    Cmd::Seq(vec![
+                        Cmd::assign(b, Expr::int(0)),
+                        Cmd::assign(pc, Expr::int(4)),
+                    ]),
+                ),
+            ),
+        ],
+    ))
+}
+
+/// §7.4: `δ: β ← (α1 + α2) mod 2^bits`.
+pub fn mod_adder_system(bits: u32) -> Result<System> {
+    let m = 1i64 << bits;
+    let u = Universe::new(vec![
+        ("a1".into(), Domain::int_range(0, m - 1)?),
+        ("a2".into(), Domain::int_range(0, m - 1)?),
+        ("beta".into(), Domain::int_range(0, m - 1)?),
+    ])?;
+    let a1 = u.obj("a1")?;
+    let a2 = u.obj("a2")?;
+    let b = u.obj("beta")?;
+    Ok(System::new(
+        u,
+        vec![Op::from_cmd(
+            "add",
+            Cmd::assign(b, Expr::var(a1).add(Expr::var(a2)).modulo(Expr::int(m))),
+        )],
+    ))
+}
+
+/// §3.6: the two-operation rights system. Matrix cells `<x,x>`, `<x,α>`,
+/// `<x,β>`, `<x,m>` are rights-valued objects; `δ1` copies α → β and `δ2`
+/// copies m → β, each guarded by s/r/w checks (§1.3).
+pub fn two_op_rights_system() -> Result<System> {
+    let cell = || {
+        Domain::new(vec![
+            Value::Rights(Rights::NONE),
+            Value::Rights(Rights::S),
+            Value::Rights(Rights::R),
+            Value::Rights(Rights::W),
+        ])
+    };
+    let u = Universe::new(vec![
+        ("alpha".into(), Domain::int_range(0, 1)?),
+        ("beta".into(), Domain::int_range(0, 1)?),
+        ("m".into(), Domain::int_range(0, 1)?),
+        ("xx".into(), cell()?),
+        ("xa".into(), cell()?),
+        ("xb".into(), cell()?),
+        ("xm".into(), cell()?),
+    ])?;
+    let a = u.obj("alpha")?;
+    let b = u.obj("beta")?;
+    let m = u.obj("m")?;
+    let xx = u.obj("xx")?;
+    let xa = u.obj("xa")?;
+    let xb = u.obj("xb")?;
+    let xm = u.obj("xm")?;
+    let guard = |src_cell| {
+        Expr::var(xx)
+            .has_rights(Rights::S)
+            .and(Expr::var(src_cell).has_rights(Rights::R))
+            .and(Expr::var(xb).has_rights(Rights::W))
+    };
+    Ok(System::new(
+        u,
+        vec![
+            Op::from_cmd("d1", Cmd::when(guard(xa), Cmd::assign(b, Expr::var(a)))),
+            Op::from_cmd("d2", Cmd::when(guard(xm), Cmd::assign(b, Expr::var(m)))),
+        ],
+    ))
+}
+
+/// §4.3 helper: the `Chain` predicate — objects whose pointer chains can
+/// reach `alpha_index` are exactly those with index ≤ `alpha_index` in the
+/// canonical initial layout used by the tests (o0 ← o1 ← …). For the
+/// induction proof the caller provides the `Chain` set explicitly; this
+/// helper builds the standard split `{o0..=ok}` vs the rest.
+pub fn chain_split(n: usize, alpha_index: usize) -> (Vec<usize>, Vec<usize>) {
+    let chain: Vec<usize> = (0..=alpha_index).collect();
+    let rest: Vec<usize> = (alpha_index + 1..n).collect();
+    (chain, rest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_builders_validate() {
+        // Every example system is closed over its domains.
+        for sys in [
+            copy_system(4).unwrap(),
+            threshold_system(15).unwrap(),
+            guarded_copy_system(3).unwrap(),
+            flag_copy_system(3).unwrap(),
+            nontransitive_system(2).unwrap(),
+            left_right_system(3).unwrap(),
+            alpha12_copy_system(3).unwrap(),
+            alpha12_sub_system(3).unwrap(),
+            m1m2_system(2).unwrap(),
+            oscillator_system(37).unwrap(),
+            floyd_flowchart_system(2).unwrap(),
+            pc_branch_system().unwrap(),
+            mod_adder_system(3).unwrap(),
+            two_op_rights_system().unwrap(),
+        ] {
+            sys.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn pointer_chain_validates() {
+        let sys = pointer_chain_system(3, 2).unwrap();
+        sys.validate().unwrap();
+        assert_eq!(sys.num_ops(), 3 * 2 * 2);
+        // Each object's domain: 2 data × 3 pointers.
+        let u = sys.universe();
+        assert_eq!(u.domain(u.obj("o0").unwrap()).size(), 6);
+    }
+
+    #[test]
+    fn chain_split_partitions() {
+        let (chain, rest) = chain_split(5, 2);
+        assert_eq!(chain, vec![0, 1, 2]);
+        assert_eq!(rest, vec![3, 4]);
+    }
+
+    #[test]
+    fn mod_adder_is_total() {
+        let sys = mod_adder_system(2).unwrap();
+        assert_eq!(sys.state_count().unwrap(), 4 * 4 * 4);
+    }
+}

@@ -1,0 +1,483 @@
+//! Expressions over states.
+//!
+//! Operations (§1.2) and constraints φ (§2.4) are both described in the
+//! paper with an "informal programming-like language"; [`Expr`] is that
+//! language's expression fragment, evaluated dynamically against a state.
+
+use core::fmt;
+
+use crate::error::{Error, Result};
+use crate::state::State;
+use crate::universe::{ObjId, Universe};
+use crate::value::{Rights, Value};
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Euclidean integer division.
+    Div,
+    /// Euclidean remainder (always non-negative), as in `(α1+α2) mod 128`.
+    Mod,
+    /// Equality on any value kind.
+    Eq,
+    /// Inequality on any value kind.
+    Ne,
+    /// Integer `<`.
+    Lt,
+    /// Integer `≤`.
+    Le,
+    /// Integer `>`.
+    Gt,
+    /// Integer `≥`.
+    Ge,
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+    /// Boolean implication `⊃`.
+    Imp,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "mod",
+            BinOp::Eq => "=",
+            BinOp::Ne => "≠",
+            BinOp::Lt => "<",
+            BinOp::Le => "≤",
+            BinOp::Gt => ">",
+            BinOp::Ge => "≥",
+            BinOp::And => "∧",
+            BinOp::Or => "∨",
+            BinOp::Imp => "⊃",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An expression evaluated against a state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Const(Value),
+    /// The current value of an object (`σ.α`).
+    Var(ObjId),
+    /// A record field projection (`σ.x.k`), by positional field index.
+    Field(Box<Expr>, usize),
+    /// Boolean negation.
+    Not(Box<Expr>),
+    /// Integer negation (used by the §6.4 oscillator `α ← -α`).
+    Neg(Box<Expr>),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Rights test: does the (rights-valued) operand contain all of the
+    /// given rights? Models `w ∈ <Cohen, Salary>(σ)` from §1.3.
+    HasRights(Rights, Box<Expr>),
+}
+
+impl Expr {
+    /// Literal integer.
+    pub fn int(i: i64) -> Expr {
+        Expr::Const(Value::Int(i))
+    }
+
+    /// Literal boolean.
+    pub fn bool(b: bool) -> Expr {
+        Expr::Const(Value::Bool(b))
+    }
+
+    /// Object reference.
+    pub fn var(a: ObjId) -> Expr {
+        Expr::Var(a)
+    }
+
+    /// Field projection by index.
+    pub fn field(self, idx: usize) -> Expr {
+        Expr::Field(Box::new(self), idx)
+    }
+
+    /// Boolean negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Integer negation.
+    pub fn neg(self) -> Expr {
+        Expr::Neg(Box::new(self))
+    }
+
+    /// Binary operation helper.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// `self = rhs`.
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, self, rhs)
+    }
+
+    /// `self ≠ rhs`.
+    pub fn ne(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Ne, self, rhs)
+    }
+
+    /// `self < rhs`.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Lt, self, rhs)
+    }
+
+    /// `self ≤ rhs`.
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Le, self, rhs)
+    }
+
+    /// `self > rhs`.
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Gt, self, rhs)
+    }
+
+    /// `self ≥ rhs`.
+    pub fn ge(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Ge, self, rhs)
+    }
+
+    /// `self ∧ rhs`.
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::And, self, rhs)
+    }
+
+    /// `self ∨ rhs`.
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Or, self, rhs)
+    }
+
+    /// `self ⊃ rhs`.
+    pub fn implies(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Imp, self, rhs)
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Add, self, rhs)
+    }
+
+    /// `self - rhs`.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, self, rhs)
+    }
+
+    /// `self mod rhs`.
+    pub fn modulo(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Mod, self, rhs)
+    }
+
+    /// Rights membership test on this (rights-valued) expression.
+    pub fn has_rights(self, r: Rights) -> Expr {
+        Expr::HasRights(r, Box::new(self))
+    }
+
+    /// Evaluates the expression in state `σ`.
+    pub fn eval(&self, u: &Universe, sigma: &State) -> Result<Value> {
+        match self {
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Var(a) => Ok(sigma.value(u, *a).clone()),
+            Expr::Field(e, idx) => match e.eval(u, sigma)? {
+                Value::Record(fields) => {
+                    fields
+                        .get(*idx)
+                        .cloned()
+                        .ok_or_else(|| Error::UnknownField {
+                            field: format!("#{idx}"),
+                            context: "field projection".into(),
+                        })
+                }
+                other => Err(Error::TypeMismatch {
+                    expected: "record",
+                    found: other.kind(),
+                    context: "field projection".into(),
+                }),
+            },
+            Expr::Not(e) => Ok(Value::Bool(!e.eval_bool(u, sigma)?)),
+            Expr::Neg(e) => Ok(Value::Int(-e.eval_int(u, sigma)?)),
+            Expr::Bin(op, lhs, rhs) => eval_bin(*op, lhs, rhs, u, sigma),
+            Expr::HasRights(r, e) => match e.eval(u, sigma)? {
+                Value::Rights(have) => Ok(Value::Bool(have.has(*r))),
+                other => Err(Error::TypeMismatch {
+                    expected: "rights",
+                    found: other.kind(),
+                    context: "rights test".into(),
+                }),
+            },
+        }
+    }
+
+    /// Evaluates to a boolean or reports a type mismatch.
+    pub fn eval_bool(&self, u: &Universe, sigma: &State) -> Result<bool> {
+        match self.eval(u, sigma)? {
+            Value::Bool(b) => Ok(b),
+            other => Err(Error::TypeMismatch {
+                expected: "bool",
+                found: other.kind(),
+                context: "boolean position".into(),
+            }),
+        }
+    }
+
+    /// Evaluates to an integer or reports a type mismatch.
+    pub fn eval_int(&self, u: &Universe, sigma: &State) -> Result<i64> {
+        match self.eval(u, sigma)? {
+            Value::Int(i) => Ok(i),
+            other => Err(Error::TypeMismatch {
+                expected: "int",
+                found: other.kind(),
+                context: "integer position".into(),
+            }),
+        }
+    }
+
+    /// The objects this expression syntactically reads.
+    pub fn reads(&self, out: &mut Vec<ObjId>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(a) => out.push(*a),
+            Expr::Field(e, _) | Expr::Not(e) | Expr::Neg(e) | Expr::HasRights(_, e) => e.reads(out),
+            Expr::Bin(_, l, r) => {
+                l.reads(out);
+                r.reads(out);
+            }
+        }
+    }
+
+    /// Renders the expression with object names resolved through a
+    /// universe.
+    pub fn display<'a>(&'a self, u: &'a Universe) -> ExprDisplay<'a> {
+        ExprDisplay { expr: self, u }
+    }
+}
+
+/// Helper produced by [`Expr::display`].
+pub struct ExprDisplay<'a> {
+    expr: &'a Expr,
+    u: &'a Universe,
+}
+
+impl fmt::Display for ExprDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(e: &Expr, u: &Universe, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match e {
+                Expr::Const(v) => write!(f, "{v}"),
+                Expr::Var(a) => write!(f, "{}", u.name(*a)),
+                Expr::Field(inner, idx) => {
+                    go(inner, u, f)?;
+                    // Resolve the field name when the base is a direct
+                    // object reference with a record domain.
+                    if let Expr::Var(a) = inner.as_ref() {
+                        if let Some(name) = u.domain(*a).fields().get(*idx) {
+                            return write!(f, ".{name}");
+                        }
+                    }
+                    write!(f, ".#{idx}")
+                }
+                Expr::Not(inner) => {
+                    write!(f, "¬(")?;
+                    go(inner, u, f)?;
+                    write!(f, ")")
+                }
+                Expr::Neg(inner) => {
+                    write!(f, "-(")?;
+                    go(inner, u, f)?;
+                    write!(f, ")")
+                }
+                Expr::Bin(op, l, r) => {
+                    write!(f, "(")?;
+                    go(l, u, f)?;
+                    write!(f, " {op} ")?;
+                    go(r, u, f)?;
+                    write!(f, ")")
+                }
+                Expr::HasRights(rights, inner) => {
+                    write!(f, "{rights} ∈ ")?;
+                    go(inner, u, f)
+                }
+            }
+        }
+        go(self.expr, self.u, f)
+    }
+}
+
+fn eval_bin(op: BinOp, lhs: &Expr, rhs: &Expr, u: &Universe, sigma: &State) -> Result<Value> {
+    match op {
+        BinOp::And => Ok(Value::Bool(
+            lhs.eval_bool(u, sigma)? && rhs.eval_bool(u, sigma)?,
+        )),
+        BinOp::Or => Ok(Value::Bool(
+            lhs.eval_bool(u, sigma)? || rhs.eval_bool(u, sigma)?,
+        )),
+        BinOp::Imp => Ok(Value::Bool(
+            !lhs.eval_bool(u, sigma)? || rhs.eval_bool(u, sigma)?,
+        )),
+        BinOp::Eq => Ok(Value::Bool(lhs.eval(u, sigma)? == rhs.eval(u, sigma)?)),
+        BinOp::Ne => Ok(Value::Bool(lhs.eval(u, sigma)? != rhs.eval(u, sigma)?)),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let l = lhs.eval_int(u, sigma)?;
+            let r = rhs.eval_int(u, sigma)?;
+            Ok(Value::Bool(match op {
+                BinOp::Lt => l < r,
+                BinOp::Le => l <= r,
+                BinOp::Gt => l > r,
+                _ => l >= r,
+            }))
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul => {
+            let l = lhs.eval_int(u, sigma)?;
+            let r = rhs.eval_int(u, sigma)?;
+            Ok(Value::Int(match op {
+                BinOp::Add => l.wrapping_add(r),
+                BinOp::Sub => l.wrapping_sub(r),
+                _ => l.wrapping_mul(r),
+            }))
+        }
+        BinOp::Div | BinOp::Mod => {
+            let l = lhs.eval_int(u, sigma)?;
+            let r = rhs.eval_int(u, sigma)?;
+            if r == 0 {
+                return Err(Error::DivisionByZero);
+            }
+            Ok(Value::Int(if op == BinOp::Div {
+                l.div_euclid(r)
+            } else {
+                l.rem_euclid(r)
+            }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::{Domain, Universe};
+
+    fn uni() -> Universe {
+        Universe::new(vec![
+            ("x".into(), Domain::int_range(0, 9).unwrap()),
+            ("f".into(), Domain::boolean()),
+            (
+                "r".into(),
+                Domain::with_fields(
+                    vec![
+                        Value::Record(vec![Value::Int(0), Value::Bool(false)]),
+                        Value::Record(vec![Value::Int(1), Value::Bool(true)]),
+                    ],
+                    vec!["n".into(), "b".into()],
+                )
+                .unwrap(),
+            ),
+            (
+                "cell".into(),
+                Domain::new(vec![
+                    Value::Rights(Rights::NONE),
+                    Value::Rights(Rights::R.union(Rights::W)),
+                ])
+                .unwrap(),
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn state(u: &Universe, x: u32, f: u32, r: u32, cell: u32) -> State {
+        let _ = u;
+        State::from_indices(vec![x, f, r, cell])
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let u = uni();
+        let x = u.obj("x").unwrap();
+        let s = state(&u, 7, 0, 0, 0);
+        let e = Expr::var(x).add(Expr::int(5)).modulo(Expr::int(10));
+        assert_eq!(e.eval(&u, &s).unwrap(), Value::Int(2));
+        assert!(Expr::var(x).lt(Expr::int(8)).eval_bool(&u, &s).unwrap());
+        assert!(!Expr::var(x).le(Expr::int(6)).eval_bool(&u, &s).unwrap());
+        assert_eq!(Expr::var(x).neg().eval(&u, &s).unwrap(), Value::Int(-7));
+    }
+
+    #[test]
+    fn mod_is_euclidean() {
+        let u = uni();
+        let s = state(&u, 0, 0, 0, 0);
+        let e = Expr::int(-3).modulo(Expr::int(5));
+        assert_eq!(e.eval(&u, &s).unwrap(), Value::Int(2));
+        assert!(matches!(
+            Expr::int(1).modulo(Expr::int(0)).eval(&u, &s),
+            Err(Error::DivisionByZero)
+        ));
+    }
+
+    #[test]
+    fn booleans_and_implication() {
+        let u = uni();
+        let f = u.obj("f").unwrap();
+        let s_true = state(&u, 0, 1, 0, 0);
+        let s_false = state(&u, 0, 0, 0, 0);
+        let e = Expr::var(f).implies(Expr::bool(false));
+        assert!(!e.eval_bool(&u, &s_true).unwrap());
+        assert!(e.eval_bool(&u, &s_false).unwrap());
+        assert!(Expr::var(f).not().eval_bool(&u, &s_false).unwrap());
+    }
+
+    #[test]
+    fn field_projection() {
+        let u = uni();
+        let r = u.obj("r").unwrap();
+        let s = state(&u, 0, 0, 1, 0);
+        let n = Expr::var(r).field(0);
+        let b = Expr::var(r).field(1);
+        assert_eq!(n.eval(&u, &s).unwrap(), Value::Int(1));
+        assert_eq!(b.eval(&u, &s).unwrap(), Value::Bool(true));
+        assert!(Expr::var(r).field(7).eval(&u, &s).is_err());
+    }
+
+    #[test]
+    fn rights_test() {
+        let u = uni();
+        let cell = u.obj("cell").unwrap();
+        let s0 = state(&u, 0, 0, 0, 0);
+        let s1 = state(&u, 0, 0, 0, 1);
+        let has_w = Expr::var(cell).has_rights(Rights::W);
+        assert!(!has_w.eval_bool(&u, &s0).unwrap());
+        assert!(has_w.eval_bool(&u, &s1).unwrap());
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let u = uni();
+        let f = u.obj("f").unwrap();
+        let s = state(&u, 0, 0, 0, 0);
+        assert!(Expr::var(f).add(Expr::int(1)).eval(&u, &s).is_err());
+        assert!(Expr::int(1).eval_bool(&u, &s).is_err());
+        assert!(Expr::var(f).has_rights(Rights::R).eval(&u, &s).is_err());
+    }
+
+    #[test]
+    fn reads_collects_variables() {
+        let u = uni();
+        let x = u.obj("x").unwrap();
+        let f = u.obj("f").unwrap();
+        let e = Expr::var(f).and(Expr::var(x).lt(Expr::var(x)));
+        let mut reads = Vec::new();
+        e.reads(&mut reads);
+        assert_eq!(reads, vec![f, x, x]);
+    }
+}

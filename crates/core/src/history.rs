@@ -1,0 +1,199 @@
+//! Histories: finite sequences of operations (Def 1-3).
+
+use core::fmt;
+
+/// The index of an operation within a [`crate::system::System`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub u32);
+
+impl OpId {
+    /// Dense index of this operation.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A history H: a sequence of operations applied left to right (Def 1-3).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct History {
+    ops: Vec<OpId>,
+}
+
+impl History {
+    /// The null history λ.
+    pub fn empty() -> History {
+        History::default()
+    }
+
+    /// A single-operation history.
+    pub fn single(op: OpId) -> History {
+        History { ops: vec![op] }
+    }
+
+    /// Builds a history from operation ids.
+    pub fn from_ops(ops: Vec<OpId>) -> History {
+        History { ops }
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether this is λ.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operations, in execution order.
+    pub fn ops(&self) -> &[OpId] {
+        &self.ops
+    }
+
+    /// Appends an operation: `Hδ`.
+    pub fn push(&mut self, op: OpId) {
+        self.ops.push(op);
+    }
+
+    /// Concatenation `H & H'`.
+    #[must_use]
+    pub fn concat(&self, other: &History) -> History {
+        let mut ops = self.ops.clone();
+        ops.extend_from_slice(&other.ops);
+        History { ops }
+    }
+
+    /// Splits into the prefix of length `n` and the remainder.
+    pub fn split_at(&self, n: usize) -> (History, History) {
+        let (a, b) = self.ops.split_at(n);
+        (History { ops: a.to_vec() }, History { ops: b.to_vec() })
+    }
+}
+
+impl From<Vec<OpId>> for History {
+    fn from(ops: Vec<OpId>) -> History {
+        History { ops }
+    }
+}
+
+impl FromIterator<OpId> for History {
+    fn from_iter<I: IntoIterator<Item = OpId>>(iter: I) -> History {
+        History {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ops.is_empty() {
+            return write!(f, "λ");
+        }
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                write!(f, "·")?;
+            }
+            write!(f, "δ{}", op.0)?;
+        }
+        Ok(())
+    }
+}
+
+/// Iterates over every history of length exactly `len` over `num_ops`
+/// operations, in lexicographic order.
+pub struct HistoriesOfLen {
+    num_ops: u32,
+    next: Option<Vec<u32>>,
+}
+
+impl HistoriesOfLen {
+    /// Creates the iterator. With `num_ops == 0` only `len == 0` yields λ.
+    pub fn new(num_ops: usize, len: usize) -> HistoriesOfLen {
+        let num_ops = num_ops as u32;
+        let next = if len == 0 {
+            Some(Vec::new())
+        } else if num_ops == 0 {
+            None
+        } else {
+            Some(vec![0u32; len])
+        };
+        HistoriesOfLen { num_ops, next }
+    }
+}
+
+impl Iterator for HistoriesOfLen {
+    type Item = History;
+
+    fn next(&mut self) -> Option<History> {
+        let cur = self.next.take()?;
+        let out = History::from_ops(cur.iter().map(|&i| OpId(i)).collect());
+        let mut cur = cur;
+        let mut i = cur.len();
+        loop {
+            if i == 0 {
+                self.next = None;
+                break;
+            }
+            i -= 1;
+            if cur[i] + 1 < self.num_ops {
+                cur[i] += 1;
+                for slot in cur.iter_mut().skip(i + 1) {
+                    *slot = 0;
+                }
+                self.next = Some(cur);
+                break;
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Iterates over every history of length `0..=max_len`.
+pub fn histories_up_to(num_ops: usize, max_len: usize) -> impl Iterator<Item = History> {
+    (0..=max_len).flat_map(move |len| HistoriesOfLen::new(num_ops, len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_and_split() {
+        let h1 = History::from_ops(vec![OpId(0), OpId(1)]);
+        let h2 = History::from_ops(vec![OpId(2)]);
+        let h = h1.concat(&h2);
+        assert_eq!(h.len(), 3);
+        let (a, b) = h.split_at(2);
+        assert_eq!(a, h1);
+        assert_eq!(b, h2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(History::empty().to_string(), "λ");
+        assert_eq!(
+            History::from_ops(vec![OpId(0), OpId(2)]).to_string(),
+            "δ0·δ2"
+        );
+    }
+
+    #[test]
+    fn histories_of_len_counts() {
+        assert_eq!(HistoriesOfLen::new(3, 0).count(), 1);
+        assert_eq!(HistoriesOfLen::new(3, 2).count(), 9);
+        assert_eq!(HistoriesOfLen::new(0, 2).count(), 0);
+        assert_eq!(HistoriesOfLen::new(0, 0).count(), 1);
+    }
+
+    #[test]
+    fn histories_up_to_counts() {
+        // 1 + 2 + 4 + 8 histories over two ops up to length 3.
+        assert_eq!(histories_up_to(2, 3).count(), 15);
+    }
+
+    #[test]
+    fn histories_are_distinct() {
+        let all: std::collections::BTreeSet<History> = histories_up_to(2, 3).collect();
+        assert_eq!(all.len(), 15);
+    }
+}

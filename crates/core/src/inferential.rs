@@ -1,0 +1,358 @@
+//! Inferential and Direct Dependency (§7.2, "work in progress").
+//!
+//! Strong dependency corresponds to information transmission only for
+//! (relatively) autonomous constraints; §7.2 sketches two alternative
+//! models for the general case. This module implements concrete
+//! formalizations of both and validates the paper's claims about them.
+//!
+//! **Inferential Dependency** — β inferentially depends on A after H
+//! given φ "if an observer of the system, able to view only β, can make
+//! some inference about A that says more about A than can be determined
+//! from φ alone". We read "says more" as *posterior refinement*: some
+//! observable final β-value shrinks the set of possible initial A-values
+//! strictly below what φ alone allows. This notion deliberately ignores
+//! "contingent" transmission (the mod-adder: no observation of β says
+//! anything about α1 alone), and — unlike strong dependency — it *does*
+//! fire on §5.2's non-autonomous `α1 = α2` example.
+//!
+//! **Direct Dependency** — like inferential dependency but ignoring what
+//! can be inferred purely *through the constraint's correlations*. We
+//! formalize it as strong dependency evaluated under the *autonomous
+//! hull* of φ: the smallest autonomous constraint containing φ (the
+//! product of φ's per-object projections). Severing the correlations
+//! leaves exactly the transmission carried by the operations themselves,
+//! matching §7.2's tag example: `β ← α1` under `φ: α1.tag = α2.tag`
+//! transmits *directly* from α1 only, even though inference also reveals
+//! part of α2.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::constraint::{Phi, StateSet};
+use crate::error::Result;
+use crate::history::History;
+use crate::system::System;
+use crate::universe::{ObjId, ObjSet};
+
+/// A witness of inferential dependency: observing `beta_value` (a domain
+/// index of β) after H leaves strictly fewer possible initial A-values
+/// than φ alone allows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferentialWitness {
+    /// The observed final β-value (domain index).
+    pub beta_value: u32,
+    /// Number of A-projections possible a priori (under φ alone).
+    pub prior: usize,
+    /// Number of A-projections still possible after the observation.
+    pub posterior: usize,
+}
+
+/// Decides inferential dependency: does some observable final β-value
+/// strictly refine the set of possible initial values of A?
+pub fn inferentially_depends(
+    sys: &System,
+    phi: &Phi,
+    a: &ObjSet,
+    beta: ObjId,
+    h: &History,
+) -> Result<Option<InferentialWitness>> {
+    let mut prior: HashSet<Vec<u32>> = HashSet::new();
+    let mut by_obs: HashMap<u32, HashSet<Vec<u32>>> = HashMap::new();
+    for sigma in sys.states()? {
+        if !phi.holds(sys, &sigma)? {
+            continue;
+        }
+        let initial_a = sigma.project(a);
+        let end = sys.run(&sigma, h)?;
+        prior.insert(initial_a.clone());
+        by_obs.entry(end.index(beta)).or_default().insert(initial_a);
+    }
+    for (obs, posterior) in by_obs {
+        if posterior.len() < prior.len() {
+            return Ok(Some(InferentialWitness {
+                beta_value: obs,
+                prior: prior.len(),
+                posterior: posterior.len(),
+            }));
+        }
+    }
+    Ok(None)
+}
+
+/// The autonomous hull of φ: the smallest autonomous constraint
+/// containing φ — extensionally, the full product of φ's per-object
+/// projections.
+pub fn autonomous_hull(sys: &System, phi: &Phi) -> Result<Phi> {
+    let u = sys.universe();
+    let n = sys.state_count()?;
+    let mut per_obj: Vec<HashSet<u32>> = vec![HashSet::new(); u.num_objects()];
+    for sigma in sys.states()? {
+        if phi.holds(sys, &sigma)? {
+            for (i, set) in per_obj.iter_mut().enumerate() {
+                set.insert(sigma.index(ObjId::from_index(i)));
+            }
+        }
+    }
+    let mut out = StateSet::new(n);
+    'outer: for sigma in sys.states()? {
+        for (i, set) in per_obj.iter().enumerate() {
+            if !set.contains(&sigma.index(ObjId::from_index(i))) {
+                continue 'outer;
+            }
+        }
+        out.insert(sigma.encode(u));
+    }
+    Ok(Phi::from_set(out))
+}
+
+/// Decides direct dependency after a history: strong dependency under the
+/// autonomous hull of φ.
+pub fn directly_depends_after(
+    sys: &System,
+    phi: &Phi,
+    a: &ObjSet,
+    beta: ObjId,
+    h: &History,
+) -> Result<Option<crate::depend::Witness>> {
+    let hull = autonomous_hull(sys, phi)?;
+    crate::depend::strongly_depends_after(sys, &hull, a, beta, h)
+}
+
+/// Decides direct dependency over all histories.
+pub fn directly_depends(
+    sys: &System,
+    phi: &Phi,
+    a: &ObjSet,
+    beta: ObjId,
+) -> Result<Option<crate::reach::DependsWitness>> {
+    let hull = autonomous_hull(sys, phi)?;
+    crate::reach::depends(sys, &hull, a, beta)
+}
+
+/// The per-observation posterior sets themselves, for analysis tooling:
+/// maps each achievable final β-value to the set of initial A-projections
+/// compatible with it.
+pub fn posteriors(
+    sys: &System,
+    phi: &Phi,
+    a: &ObjSet,
+    beta: ObjId,
+    h: &History,
+) -> Result<HashMap<u32, Vec<Vec<u32>>>> {
+    let mut by_obs: HashMap<u32, HashSet<Vec<u32>>> = HashMap::new();
+    for sigma in sys.states()? {
+        if !phi.holds(sys, &sigma)? {
+            continue;
+        }
+        let initial_a = sigma.project(a);
+        let end = sys.run(&sigma, h)?;
+        by_obs.entry(end.index(beta)).or_default().insert(initial_a);
+    }
+    Ok(by_obs
+        .into_iter()
+        .map(|(k, v)| {
+            let mut v: Vec<Vec<u32>> = v.into_iter().collect();
+            v.sort();
+            (k, v)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+    use crate::expr::Expr;
+    use crate::history::OpId;
+
+    fn h0() -> History {
+        History::single(OpId(0))
+    }
+
+    #[test]
+    fn fires_on_the_sec_5_2_example() {
+        // β ← α1 under φ: α1 = α2. Strong dependency is silent from α1;
+        // inferential dependency fires (the observer learns α1 exactly).
+        let sys = examples::alpha12_copy_system(3).unwrap();
+        let u = sys.universe();
+        let a1 = u.obj("a1").unwrap();
+        let b = u.obj("beta").unwrap();
+        let phi = Phi::expr(Expr::var(a1).eq(Expr::var(u.obj("a2").unwrap())));
+        let src = ObjSet::singleton(a1);
+        assert!(
+            crate::depend::strongly_depends_after(&sys, &phi, &src, b, &h0())
+                .unwrap()
+                .is_none(),
+            "strong dependency misses the spread variety"
+        );
+        let w = inferentially_depends(&sys, &phi, &src, b, &h0())
+            .unwrap()
+            .expect("inferential dependency fires");
+        assert_eq!(w.prior, 3);
+        assert_eq!(w.posterior, 1);
+        // …and α2 is inferentially revealed too (through the constraint).
+        let a2 = u.obj("a2").unwrap();
+        assert!(
+            inferentially_depends(&sys, &phi, &ObjSet::singleton(a2), b, &h0())
+                .unwrap()
+                .is_some()
+        );
+    }
+
+    #[test]
+    fn ignores_contingent_transmission() {
+        // The mod adder: strong dependency says α1 ▷ β, but no observation
+        // of β refines α1 — inferential dependency is silent (§7.2).
+        let sys = examples::mod_adder_system(2).unwrap();
+        let u = sys.universe();
+        let a1 = u.obj("a1").unwrap();
+        let b = u.obj("beta").unwrap();
+        let src = ObjSet::singleton(a1);
+        assert!(
+            crate::depend::strongly_depends_after(&sys, &Phi::True, &src, b, &h0())
+                .unwrap()
+                .is_some()
+        );
+        assert!(inferentially_depends(&sys, &Phi::True, &src, b, &h0())
+            .unwrap()
+            .is_none());
+        // The pair source is inferentially visible (β reveals the sum).
+        let pair = ObjSet::from_iter([a1, u.obj("a2").unwrap()]);
+        assert!(inferentially_depends(&sys, &Phi::True, &pair, b, &h0())
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn implies_strong_dependency_under_relative_autonomy() {
+        // §7.2's consistency claim, in the provable direction: for
+        // A-autonomous φ, inferential dependency implies strong
+        // dependency.
+        for seed_k in [2i64, 3] {
+            let sys = examples::guarded_copy_system(seed_k).unwrap();
+            let u = sys.universe();
+            let a = u.obj("alpha").unwrap();
+            let b = u.obj("beta").unwrap();
+            let src = ObjSet::singleton(a);
+            for phi in [
+                Phi::True,
+                Phi::expr(Expr::var(u.obj("m").unwrap()).not()),
+                Phi::expr(Expr::var(a).lt(Expr::int(seed_k - 1))),
+            ] {
+                assert!(crate::classify::is_autonomous_relative(&sys, &phi, &src).unwrap());
+                for h in crate::history::histories_up_to(sys.num_ops(), 2) {
+                    let inf = inferentially_depends(&sys, &phi, &src, b, &h)
+                        .unwrap()
+                        .is_some();
+                    let sd = crate::depend::strongly_depends_after(&sys, &phi, &src, b, &h)
+                        .unwrap()
+                        .is_some();
+                    assert!(!inf || sd, "inferential without strong (k={seed_k}, H={h})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn autonomous_hull_is_autonomous_and_contains_phi() {
+        let sys = examples::alpha12_copy_system(3).unwrap();
+        let u = sys.universe();
+        let a1 = u.obj("a1").unwrap();
+        let a2 = u.obj("a2").unwrap();
+        let phi = Phi::expr(Expr::var(a1).eq(Expr::var(a2)));
+        let hull = autonomous_hull(&sys, &phi).unwrap();
+        assert!(crate::classify::is_autonomous(&sys, &hull).unwrap());
+        assert!(phi.entails(&sys, &hull).unwrap());
+        // For an already autonomous φ the hull is φ itself.
+        let auto = Phi::expr(Expr::var(a1).lt(Expr::int(2)));
+        let hull2 = autonomous_hull(&sys, &auto).unwrap();
+        assert_eq!(hull2.sat(&sys).unwrap(), auto.sat(&sys).unwrap());
+    }
+
+    #[test]
+    fn direct_dependency_on_the_tag_example() {
+        // §7.2: β ← α1 with φ: α1.tag = α2.tag. Direct dependency reports
+        // α1 → β but not α2 → β.
+        use crate::op::{Cmd, Op};
+        use crate::universe::{Domain, Universe};
+        use crate::value::Value;
+        let tagged = |t: i64, v: i64| Value::Record(vec![Value::Int(t), Value::Int(v)]);
+        let dom = || {
+            Domain::with_fields(
+                vec![tagged(0, 0), tagged(0, 1), tagged(1, 0), tagged(1, 1)],
+                vec!["tag".into(), "val".into()],
+            )
+            .unwrap()
+        };
+        let u = Universe::new(vec![
+            ("a1".into(), dom()),
+            ("a2".into(), dom()),
+            ("beta".into(), dom()),
+        ])
+        .unwrap();
+        let a1 = u.obj("a1").unwrap();
+        let a2 = u.obj("a2").unwrap();
+        let b = u.obj("beta").unwrap();
+        let sys = System::new(u, vec![Op::from_cmd("copy", Cmd::assign(b, Expr::var(a1)))]);
+        let phi = Phi::expr(Expr::var(a1).field(0).eq(Expr::var(a2).field(0)));
+
+        // Directly: α1 → β, not α2 → β.
+        assert!(directly_depends(&sys, &phi, &ObjSet::singleton(a1), b)
+            .unwrap()
+            .is_some());
+        assert!(directly_depends(&sys, &phi, &ObjSet::singleton(a2), b)
+            .unwrap()
+            .is_none());
+        // Inferentially: both (β's tag says something about α2's tag).
+        let h = h0();
+        assert!(
+            inferentially_depends(&sys, &phi, &ObjSet::singleton(a1), b, &h)
+                .unwrap()
+                .is_some()
+        );
+        assert!(
+            inferentially_depends(&sys, &phi, &ObjSet::singleton(a2), b, &h)
+                .unwrap()
+                .is_some()
+        );
+    }
+
+    #[test]
+    fn non_monotone_in_the_constraint() {
+        // §7.2: inferential transmission breaks Thm 2-3 monotonicity —
+        // imposing φ *adds* the α2 → β path relative to tt.
+        let sys = examples::alpha12_copy_system(3).unwrap();
+        let u = sys.universe();
+        let a1 = u.obj("a1").unwrap();
+        let a2 = u.obj("a2").unwrap();
+        let b = u.obj("beta").unwrap();
+        let phi = Phi::expr(Expr::var(a1).eq(Expr::var(a2)));
+        let h = h0();
+        // Under tt: no inference about α2.
+        assert!(
+            inferentially_depends(&sys, &Phi::True, &ObjSet::singleton(a2), b, &h)
+                .unwrap()
+                .is_none()
+        );
+        // Under the more restrictive φ: inference about α2 appears.
+        assert!(
+            inferentially_depends(&sys, &phi, &ObjSet::singleton(a2), b, &h)
+                .unwrap()
+                .is_some()
+        );
+    }
+
+    #[test]
+    fn posteriors_expose_the_inference() {
+        let sys = examples::alpha12_copy_system(3).unwrap();
+        let u = sys.universe();
+        let a1 = u.obj("a1").unwrap();
+        let b = u.obj("beta").unwrap();
+        let phi = Phi::expr(Expr::var(a1).eq(Expr::var(u.obj("a2").unwrap())));
+        let post = posteriors(&sys, &phi, &ObjSet::singleton(a1), b, &h0()).unwrap();
+        // Each of the 3 observable β values pins α1 to exactly one value.
+        assert_eq!(post.len(), 3);
+        for sets in post.values() {
+            assert_eq!(sets.len(), 1);
+        }
+    }
+}

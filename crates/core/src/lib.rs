@@ -1,0 +1,61 @@
+//! Core formal model and decision procedures for **Strong Dependency**
+//! (Ellis Cohen, "Information Transmission in Computational Systems",
+//! SOSP 1977).
+//!
+//! The crate provides:
+//!
+//! - the paper's model of computational systems `<Σ, Δ>` over finite
+//!   domains ([`universe`], [`state`], [`op`], [`system`], [`history`]);
+//! - constraints φ and their semantic classification — A-independence,
+//!   A-strictness, (relative) autonomy, invariance ([`constraint`],
+//!   [`classify`], [`after`]);
+//! - exact decision procedures for strong dependency `A ▷φ β`, both per
+//!   history (Defs 2-3…2-11, 5-5…5-7) and over *all* histories via pair
+//!   reachability ([`depend`], [`reach`]);
+//! - the paper's proof techniques as certificate-producing provers:
+//!   Strong Dependency Induction, Separation of Variety and inductive
+//!   covers ([`induction`], [`cover`], [`certificate`]);
+//! - information problems, the worth measure, and maximal solutions
+//!   ([`problem`], [`worth`], [`solve`]);
+//! - observation models resolving the §6.5 program-counter paradox
+//!   ([`observe`]), and the §7.2 Inferential/Direct Dependency extensions
+//!   ([`inferential`]);
+//! - builders for every example system in the paper ([`examples`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod after;
+pub mod bitset;
+pub mod certificate;
+pub mod classify;
+pub mod constraint;
+pub mod cover;
+pub mod depend;
+pub mod error;
+pub mod examples;
+pub mod expr;
+pub mod history;
+pub mod induction;
+pub mod inferential;
+pub mod mechanism;
+pub mod observe;
+pub mod op;
+pub mod problem;
+pub mod reach;
+pub mod solve;
+pub mod state;
+pub mod system;
+pub mod universe;
+pub mod value;
+pub mod worth;
+
+pub use crate::constraint::{Phi, StateSet};
+pub use crate::error::{Error, Result};
+pub use crate::expr::{BinOp, Expr};
+pub use crate::history::{History, OpId};
+pub use crate::op::{Cmd, LValue, Op};
+pub use crate::state::State;
+pub use crate::system::System;
+pub use crate::universe::{Domain, ObjId, ObjSet, Universe};
+pub use crate::value::{Rights, Value};

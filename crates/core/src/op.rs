@@ -1,0 +1,465 @@
+//! Operations: total functions from states to states (§1.2).
+//!
+//! Most operations are written in a small command language ([`Cmd`]) that
+//! mirrors the paper's informal notation — guarded assignments, sequencing
+//! (`(β ← α; α ← -α)`), and conditionals. Arbitrary Rust functions can be
+//! wrapped as [`OpBody::Native`] for substrates with behaviour that is
+//! awkward to express as commands.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::expr::Expr;
+use crate::state::State;
+use crate::universe::{ObjId, Universe};
+use crate::value::Value;
+
+/// An assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A whole object: `β ← …`.
+    Obj(ObjId),
+    /// One field of a record-valued object: `y.data ← …`.
+    Field(ObjId, usize),
+}
+
+impl LValue {
+    /// The object this lvalue writes.
+    pub fn object(&self) -> ObjId {
+        match self {
+            LValue::Obj(a) | LValue::Field(a, _) => *a,
+        }
+    }
+}
+
+/// A command in the paper's informal operation language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cmd {
+    /// Does nothing.
+    Skip,
+    /// An assignment; the produced value must lie in the target's domain.
+    Assign(LValue, Expr),
+    /// Sequential composition `(c1; c2; …)` evaluated left to right, with
+    /// later commands seeing earlier updates.
+    Seq(Vec<Cmd>),
+    /// `if e then c1 else c2`.
+    If(Expr, Box<Cmd>, Box<Cmd>),
+}
+
+impl Cmd {
+    /// `if e then c` with an implicit `else skip`.
+    pub fn when(guard: Expr, then: Cmd) -> Cmd {
+        Cmd::If(guard, Box::new(then), Box::new(Cmd::Skip))
+    }
+
+    /// An assignment to a whole object.
+    pub fn assign(target: ObjId, e: Expr) -> Cmd {
+        Cmd::Assign(LValue::Obj(target), e)
+    }
+
+    /// An assignment to a record field.
+    pub fn assign_field(target: ObjId, field: usize, e: Expr) -> Cmd {
+        Cmd::Assign(LValue::Field(target, field), e)
+    }
+
+    /// Executes the command, mutating `sigma` in place.
+    pub fn exec(&self, u: &Universe, sigma: &mut State) -> Result<()> {
+        match self {
+            Cmd::Skip => Ok(()),
+            Cmd::Assign(lv, e) => {
+                let v = e.eval(u, sigma)?;
+                let target = lv.object();
+                let dom = u.domain(target);
+                let new_value = match lv {
+                    LValue::Obj(_) => v,
+                    LValue::Field(_, idx) => {
+                        let cur = sigma.value(u, target).clone();
+                        match cur {
+                            Value::Record(mut fields) => {
+                                if *idx >= fields.len() {
+                                    return Err(Error::UnknownField {
+                                        field: format!("#{idx}"),
+                                        context: format!(
+                                            "assignment to field of `{}`",
+                                            u.name(target)
+                                        ),
+                                    });
+                                }
+                                fields[*idx] = v;
+                                Value::Record(fields)
+                            }
+                            other => {
+                                return Err(Error::TypeMismatch {
+                                    expected: "record",
+                                    found: other.kind(),
+                                    context: format!("assignment to field of `{}`", u.name(target)),
+                                })
+                            }
+                        }
+                    }
+                };
+                let idx = dom.index_of(&new_value).ok_or(Error::OutOfDomain {
+                    object: u.name(target).to_string(),
+                    value: new_value,
+                })?;
+                sigma.set_index(target, idx);
+                Ok(())
+            }
+            Cmd::Seq(cmds) => {
+                for c in cmds {
+                    c.exec(u, sigma)?;
+                }
+                Ok(())
+            }
+            Cmd::If(guard, then, els) => {
+                if guard.eval_bool(u, sigma)? {
+                    then.exec(u, sigma)
+                } else {
+                    els.exec(u, sigma)
+                }
+            }
+        }
+    }
+
+    /// The objects this command can syntactically write.
+    pub fn writes(&self, out: &mut Vec<ObjId>) {
+        match self {
+            Cmd::Skip => {}
+            Cmd::Assign(lv, _) => out.push(lv.object()),
+            Cmd::Seq(cmds) => {
+                for c in cmds {
+                    c.writes(out);
+                }
+            }
+            Cmd::If(_, t, e) => {
+                t.writes(out);
+                e.writes(out);
+            }
+        }
+    }
+
+    /// The objects this command can syntactically read (guards included).
+    pub fn reads(&self, out: &mut Vec<ObjId>) {
+        match self {
+            Cmd::Skip => {}
+            Cmd::Assign(lv, e) => {
+                e.reads(out);
+                if let LValue::Field(a, _) = lv {
+                    // A field update reads the record's other fields.
+                    out.push(*a);
+                }
+            }
+            Cmd::Seq(cmds) => {
+                for c in cmds {
+                    c.reads(out);
+                }
+            }
+            Cmd::If(g, t, e) => {
+                g.reads(out);
+                t.reads(out);
+                e.reads(out);
+            }
+        }
+    }
+
+    /// Renders the command in the paper's informal notation, with object
+    /// names resolved through a universe.
+    pub fn display<'a>(&'a self, u: &'a Universe) -> CmdDisplay<'a> {
+        CmdDisplay { cmd: self, u }
+    }
+}
+
+/// Helper produced by [`Cmd::display`].
+pub struct CmdDisplay<'a> {
+    cmd: &'a Cmd,
+    u: &'a Universe,
+}
+
+impl fmt::Display for CmdDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(c: &Cmd, u: &Universe, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match c {
+                Cmd::Skip => write!(f, "skip"),
+                Cmd::Assign(lv, e) => {
+                    match lv {
+                        LValue::Obj(a) => write!(f, "{}", u.name(*a))?,
+                        LValue::Field(a, idx) => {
+                            let field = u
+                                .domain(*a)
+                                .fields()
+                                .get(*idx)
+                                .cloned()
+                                .unwrap_or_else(|| format!("#{idx}"));
+                            write!(f, "{}.{}", u.name(*a), field)?;
+                        }
+                    }
+                    write!(f, " ← {}", e.display(u))
+                }
+                Cmd::Seq(cmds) => {
+                    write!(f, "(")?;
+                    let mut first = true;
+                    for c in cmds {
+                        if !first {
+                            write!(f, "; ")?;
+                        }
+                        first = false;
+                        go(c, u, f)?;
+                    }
+                    write!(f, ")")
+                }
+                Cmd::If(g, t, e) => {
+                    write!(f, "if {} then ", g.display(u))?;
+                    go(t, u, f)?;
+                    if !matches!(e.as_ref(), Cmd::Skip) {
+                        write!(f, " else ")?;
+                        go(e, u, f)?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        go(self.cmd, self.u, f)
+    }
+}
+
+/// The implementation of an operation.
+#[derive(Clone)]
+pub enum OpBody {
+    /// A command in the operation language.
+    Cmd(Cmd),
+    /// A native Rust state transformer.
+    Native(Arc<dyn Fn(&Universe, &State) -> Result<State> + Send + Sync>),
+}
+
+impl fmt::Debug for OpBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpBody::Cmd(c) => f.debug_tuple("Cmd").field(c).finish(),
+            OpBody::Native(_) => f.write_str("Native(..)"),
+        }
+    }
+}
+
+/// A named operation δ ∈ Δ.
+#[derive(Debug, Clone)]
+pub struct Op {
+    name: String,
+    body: OpBody,
+}
+
+impl Op {
+    /// Creates an operation from a command.
+    pub fn from_cmd(name: impl Into<String>, cmd: Cmd) -> Op {
+        Op {
+            name: name.into(),
+            body: OpBody::Cmd(cmd),
+        }
+    }
+
+    /// Creates an operation from a native function.
+    pub fn native(
+        name: impl Into<String>,
+        f: impl Fn(&Universe, &State) -> Result<State> + Send + Sync + 'static,
+    ) -> Op {
+        Op {
+            name: name.into(),
+            body: OpBody::Native(Arc::new(f)),
+        }
+    }
+
+    /// The operation's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The operation body.
+    pub fn body(&self) -> &OpBody {
+        &self.body
+    }
+
+    /// Applies the operation: `δ(σ)`.
+    pub fn apply(&self, u: &Universe, sigma: &State) -> Result<State> {
+        match &self.body {
+            OpBody::Cmd(c) => {
+                let mut out = sigma.clone();
+                c.exec(u, &mut out)?;
+                Ok(out)
+            }
+            OpBody::Native(f) => f(u, sigma),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Domain;
+
+    fn uni() -> Universe {
+        Universe::new(vec![
+            ("a".into(), Domain::int_range(0, 3).unwrap()),
+            ("b".into(), Domain::int_range(0, 3).unwrap()),
+            ("m".into(), Domain::boolean()),
+            (
+                "rec".into(),
+                Domain::with_fields(
+                    vec![
+                        Value::Record(vec![Value::Int(0), Value::Int(0)]),
+                        Value::Record(vec![Value::Int(0), Value::Int(1)]),
+                        Value::Record(vec![Value::Int(1), Value::Int(0)]),
+                        Value::Record(vec![Value::Int(1), Value::Int(1)]),
+                    ],
+                    vec!["left".into(), "right".into()],
+                )
+                .unwrap(),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn guarded_copy() {
+        // δ: if m then β ← α (§3.2).
+        let u = uni();
+        let a = u.obj("a").unwrap();
+        let b = u.obj("b").unwrap();
+        let m = u.obj("m").unwrap();
+        let op = Op::from_cmd(
+            "copy",
+            Cmd::when(Expr::var(m), Cmd::assign(b, Expr::var(a))),
+        );
+
+        let s_on = State::from_indices(vec![2, 0, 1, 0]);
+        let s_off = State::from_indices(vec![2, 0, 0, 0]);
+        assert_eq!(op.apply(&u, &s_on).unwrap().index(b), 2);
+        assert_eq!(op.apply(&u, &s_off).unwrap().index(b), 0);
+    }
+
+    #[test]
+    fn sequencing_is_progressive() {
+        // δ: (β ← α; α ← 0) — β receives α's old value.
+        let u = uni();
+        let a = u.obj("a").unwrap();
+        let b = u.obj("b").unwrap();
+        let op = Op::from_cmd(
+            "seq",
+            Cmd::Seq(vec![
+                Cmd::assign(b, Expr::var(a)),
+                Cmd::assign(a, Expr::int(0)),
+            ]),
+        );
+        let s = State::from_indices(vec![3, 1, 0, 0]);
+        let out = op.apply(&u, &s).unwrap();
+        assert_eq!(out.index(b), 3);
+        assert_eq!(out.index(a), 0);
+    }
+
+    #[test]
+    fn field_assignment_preserves_other_fields() {
+        let u = uni();
+        let rec = u.obj("rec").unwrap();
+        let dom = u.domain(rec);
+        let left = dom.field_index("left").unwrap();
+        let op = Op::from_cmd("setl", Cmd::assign_field(rec, left, Expr::int(1)));
+        // Start with (left=0, right=1) which is domain index 1.
+        let s = State::from_indices(vec![0, 0, 0, 1]);
+        let out = op.apply(&u, &s).unwrap();
+        assert_eq!(
+            out.value(&u, rec),
+            &Value::Record(vec![Value::Int(1), Value::Int(1)])
+        );
+    }
+
+    #[test]
+    fn out_of_domain_is_an_error() {
+        let u = uni();
+        let a = u.obj("a").unwrap();
+        let op = Op::from_cmd("bump", Cmd::assign(a, Expr::var(a).add(Expr::int(1))));
+        let top = State::from_indices(vec![3, 0, 0, 0]);
+        assert!(matches!(op.apply(&u, &top), Err(Error::OutOfDomain { .. })));
+    }
+
+    #[test]
+    fn native_ops_work() {
+        let u = uni();
+        let a = u.obj("a").unwrap();
+        let op = Op::native("swapish", move |_u, s| {
+            let mut out = s.clone();
+            out.set_index(a, 3 - s.index(a));
+            Ok(out)
+        });
+        let s = State::from_indices(vec![1, 0, 0, 0]);
+        assert_eq!(op.apply(&u, &s).unwrap().index(a), 2);
+    }
+
+    #[test]
+    fn reads_and_writes_footprints() {
+        let u = uni();
+        let a = u.obj("a").unwrap();
+        let b = u.obj("b").unwrap();
+        let m = u.obj("m").unwrap();
+        let cmd = Cmd::when(Expr::var(m), Cmd::assign(b, Expr::var(a)));
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        cmd.reads(&mut reads);
+        cmd.writes(&mut writes);
+        assert!(reads.contains(&m) && reads.contains(&a));
+        assert_eq!(writes, vec![b]);
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+    use crate::universe::Domain;
+
+    #[test]
+    fn cmd_display_matches_paper_notation() {
+        let u = Universe::new(vec![
+            ("alpha".into(), Domain::int_range(0, 3).unwrap()),
+            ("beta".into(), Domain::int_range(0, 3).unwrap()),
+            ("m".into(), Domain::boolean()),
+        ])
+        .unwrap();
+        let a = u.obj("alpha").unwrap();
+        let b = u.obj("beta").unwrap();
+        let m = u.obj("m").unwrap();
+        let cmd = Cmd::when(Expr::var(m), Cmd::assign(b, Expr::var(a)));
+        assert_eq!(cmd.display(&u).to_string(), "if m then beta ← alpha");
+        let seq = Cmd::Seq(vec![
+            Cmd::assign(b, Expr::var(a)),
+            Cmd::assign(a, Expr::var(a).neg()),
+        ]);
+        assert_eq!(
+            seq.display(&u).to_string(),
+            "(beta ← alpha; alpha ← -(alpha))"
+        );
+        let ite = Cmd::If(
+            Expr::var(a).lt(Expr::int(2)),
+            Box::new(Cmd::assign(b, Expr::int(0))),
+            Box::new(Cmd::assign(b, Expr::int(1))),
+        );
+        assert_eq!(
+            ite.display(&u).to_string(),
+            "if (alpha < 2) then beta ← 0 else beta ← 1"
+        );
+        assert_eq!(Cmd::Skip.display(&u).to_string(), "skip");
+    }
+
+    #[test]
+    fn field_display_resolves_names() {
+        let u = Universe::new(vec![(
+            "rec".into(),
+            Domain::with_fields(
+                vec![Value::Record(vec![Value::Int(0), Value::Int(1)])],
+                vec!["data".into(), "ptr".into()],
+            )
+            .unwrap(),
+        )])
+        .unwrap();
+        let rec = u.obj("rec").unwrap();
+        let cmd = Cmd::assign_field(rec, 0, Expr::var(rec).field(1));
+        assert_eq!(cmd.display(&u).to_string(), "rec.data ← rec.ptr");
+    }
+}

@@ -1,0 +1,350 @@
+//! Strong dependency over *all* histories: `A ▷φ β` (Defs 2-7, 2-11, 5-7).
+//!
+//! Deciding `∃H. A ▷φH β` looks like an unbounded search, but for finite
+//! systems it is exactly a reachability question on the *self-composition*
+//! of the system: run two copies in lockstep from a pair of φ-states that
+//! differ only at A, and ask whether a pair differing at β is reachable.
+//! This module implements that product-automaton BFS, with witness
+//! reconstruction (the actual history H and state pair).
+//!
+//! The same search underlies [`sinks`] (all β reachable from a source set,
+//! i.e. one row of the §3.6 worth measure) and the set-target variant of
+//! Def 5-7.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::constraint::Phi;
+use crate::error::Result;
+use crate::history::{History, OpId};
+use crate::state::State;
+use crate::system::System;
+use crate::universe::{ObjId, ObjSet, Universe};
+
+/// A witness that `A ▷φ β`: the history and initial state pair.
+#[derive(Debug, Clone)]
+pub struct DependsWitness {
+    /// The history transmitting the variety.
+    pub history: History,
+    /// First initial state (satisfies φ).
+    pub sigma1: State,
+    /// Second initial state (satisfies φ, differs from `sigma1` only at A).
+    pub sigma2: State,
+}
+
+/// Extracts the domain index of `obj` from an encoded state, without
+/// materializing the full state.
+fn obj_index_of_code(u: &Universe, code: u64, obj: ObjId) -> u32 {
+    let stride = u.stride(obj) as u64;
+    let dom = u.domain(obj).size() as u64;
+    ((code / stride) % dom) as u32
+}
+
+/// Canonically ordered pair of encoded states.
+type Pair = (u64, u64);
+
+fn canon(a: u64, b: u64) -> Pair {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// The initial pair frontier: all unordered pairs of distinct φ-states that
+/// differ only at A.
+fn initial_pairs(sys: &System, phi: &Phi, a: &ObjSet) -> Result<Vec<Pair>> {
+    let u = sys.universe();
+    let mut out = Vec::new();
+    for class in crate::depend::classes(sys, phi, a)? {
+        let codes: Vec<u64> = class.iter().map(|s| s.encode(u)).collect();
+        for i in 0..codes.len() {
+            for j in (i + 1)..codes.len() {
+                out.push(canon(codes[i], codes[j]));
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+/// Internal BFS over the pair graph. Calls `found` on every visited pair;
+/// when `found` returns `true` the search stops and the witness (history and
+/// initial pair) is reconstructed.
+fn pair_bfs(
+    sys: &System,
+    phi: &Phi,
+    a: &ObjSet,
+    mut found: impl FnMut(&Universe, Pair) -> bool,
+) -> Result<Option<DependsWitness>> {
+    let u = sys.universe();
+    let start = initial_pairs(sys, phi, a)?;
+    // parent: pair -> (predecessor pair, op applied). Roots map to None.
+    let mut parent: HashMap<Pair, Option<(Pair, OpId)>> = HashMap::new();
+    let mut queue: VecDeque<Pair> = VecDeque::new();
+    for p in start {
+        if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(p) {
+            e.insert(None);
+            queue.push_back(p);
+        }
+    }
+    let reconstruct = |parent: &HashMap<Pair, Option<(Pair, OpId)>>, mut cur: Pair| {
+        let mut ops = Vec::new();
+        loop {
+            match parent[&cur] {
+                None => break,
+                Some((prev, op)) => {
+                    ops.push(op);
+                    cur = prev;
+                }
+            }
+        }
+        ops.reverse();
+        (cur, History::from_ops(ops))
+    };
+    while let Some(pair) = queue.pop_front() {
+        if found(u, pair) {
+            let (root, history) = reconstruct(&parent, pair);
+            return Ok(Some(DependsWitness {
+                history,
+                sigma1: State::decode(u, root.0),
+                sigma2: State::decode(u, root.1),
+            }));
+        }
+        let s1 = State::decode(u, pair.0);
+        let s2 = State::decode(u, pair.1);
+        for op in sys.op_ids() {
+            let n1 = sys.apply(op, &s1)?.encode(u);
+            let n2 = sys.apply(op, &s2)?.encode(u);
+            if n1 == n2 {
+                // Once the two runs coincide they stay equal forever
+                // (operations are deterministic): no future difference at β
+                // can arise from this branch.
+                continue;
+            }
+            let next = canon(n1, n2);
+            if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(next) {
+                e.insert(Some((pair, op)));
+                queue.push_back(next);
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Decides `A ▷φ β` (Def 2-11): is there *any* history over which β
+/// strongly depends on A given φ? Exact; returns a witness if so.
+///
+/// # Examples
+///
+/// ```
+/// use sd_core::{examples, reach, ObjSet, Phi, Expr};
+///
+/// // δ: if m then β ← α — a flow exists, until φ pins m to false.
+/// let sys = examples::guarded_copy_system(2)?;
+/// let u = sys.universe();
+/// let (alpha, beta, m) = (u.obj("alpha")?, u.obj("beta")?, u.obj("m")?);
+/// let src = ObjSet::singleton(alpha);
+/// assert!(reach::depends(&sys, &Phi::True, &src, beta)?.is_some());
+/// let phi = Phi::expr(Expr::var(m).not());
+/// assert!(reach::depends(&sys, &phi, &src, beta)?.is_none());
+/// # Ok::<(), sd_core::Error>(())
+/// ```
+pub fn depends(sys: &System, phi: &Phi, a: &ObjSet, beta: ObjId) -> Result<Option<DependsWitness>> {
+    pair_bfs(sys, phi, a, |u, (c1, c2)| {
+        obj_index_of_code(u, c1, beta) != obj_index_of_code(u, c2, beta)
+    })
+}
+
+/// Decides the set-target relation `A ▷φ B` (Def 5-7): some history leads
+/// the pair to values differing at *every* object of B.
+pub fn depends_set(
+    sys: &System,
+    phi: &Phi,
+    a: &ObjSet,
+    b: &ObjSet,
+) -> Result<Option<DependsWitness>> {
+    if b.is_empty() {
+        return Ok(None);
+    }
+    pair_bfs(sys, phi, a, |u, (c1, c2)| {
+        b.iter()
+            .all(|obj| obj_index_of_code(u, c1, obj) != obj_index_of_code(u, c2, obj))
+    })
+}
+
+/// All sinks of a source set: `{ β | A ▷φ β }` — one row of the §3.6 worth
+/// measure, computed with a single exhaustive pair-BFS.
+pub fn sinks(sys: &System, phi: &Phi, a: &ObjSet) -> Result<ObjSet> {
+    let u = sys.universe();
+    let all: Vec<ObjId> = u.objects().collect();
+    let mut out = ObjSet::empty();
+    // Visit every reachable pair; collect every object at which some pair
+    // differs. `found` never returns true, so the BFS is exhaustive.
+    pair_bfs(sys, phi, a, |u, (c1, c2)| {
+        for &obj in &all {
+            if !out.contains(obj) && obj_index_of_code(u, c1, obj) != obj_index_of_code(u, c2, obj)
+            {
+                out.insert(obj);
+            }
+        }
+        false
+    })?;
+    Ok(out)
+}
+
+/// Bounded variant of [`depends`]: only histories of length ≤ `max_len`.
+///
+/// Used by tests to cross-check the BFS against brute-force enumeration.
+pub fn depends_bounded(
+    sys: &System,
+    phi: &Phi,
+    a: &ObjSet,
+    beta: ObjId,
+    max_len: usize,
+) -> Result<Option<DependsWitness>> {
+    for h in crate::history::histories_up_to(sys.num_ops(), max_len) {
+        if let Some(w) = crate::depend::strongly_depends_after(sys, phi, a, beta, &h)? {
+            return Ok(Some(DependsWitness {
+                history: h,
+                sigma1: w.sigma1,
+                sigma2: w.sigma2,
+            }));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::op::{Cmd, Op};
+    use crate::universe::{Domain, Universe};
+
+    /// §3.3 system: δ1: if flag then β ← α else β ← 0;
+    /// δ2: (flag ← tt; α ← x).
+    fn flag_sys() -> System {
+        let u = Universe::new(vec![
+            ("alpha".into(), Domain::int_range(0, 2).unwrap()),
+            ("beta".into(), Domain::int_range(0, 2).unwrap()),
+            ("flag".into(), Domain::boolean()),
+            ("x".into(), Domain::int_range(0, 2).unwrap()),
+        ])
+        .unwrap();
+        let a = u.obj("alpha").unwrap();
+        let b = u.obj("beta").unwrap();
+        let flag = u.obj("flag").unwrap();
+        let x = u.obj("x").unwrap();
+        System::new(
+            u,
+            vec![
+                Op::from_cmd(
+                    "d1",
+                    Cmd::If(
+                        Expr::var(flag),
+                        Box::new(Cmd::assign(b, Expr::var(a))),
+                        Box::new(Cmd::assign(b, Expr::int(0))),
+                    ),
+                ),
+                Op::from_cmd(
+                    "d2",
+                    Cmd::Seq(vec![
+                        Cmd::assign(flag, Expr::bool(true)),
+                        Cmd::assign(a, Expr::var(x)),
+                    ]),
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn initial_constraint_not_invariant_sec_3_3() {
+        // φ(σ) ≡ ¬σ.flag solves ¬α ▷φ β even though δ2 later sets the
+        // flag — by then δ2 has overwritten α's initial variety.
+        let sys = flag_sys();
+        let u = sys.universe();
+        let a = u.obj("alpha").unwrap();
+        let b = u.obj("beta").unwrap();
+        let flag = u.obj("flag").unwrap();
+        let phi = Phi::expr(Expr::var(flag).not());
+        assert!(depends(&sys, &phi, &ObjSet::singleton(a), b)
+            .unwrap()
+            .is_none());
+        // Without the constraint there is a flow.
+        let w = depends(&sys, &Phi::True, &ObjSet::singleton(a), b)
+            .unwrap()
+            .unwrap();
+        // Replay the witness to double-check it.
+        let o1 = sys.run(&w.sigma1, &w.history).unwrap();
+        let o2 = sys.run(&w.sigma2, &w.history).unwrap();
+        assert_ne!(o1.index(b), o2.index(b));
+        assert!(w.sigma1.eq_except(&w.sigma2, &ObjSet::singleton(a)));
+    }
+
+    #[test]
+    fn bfs_agrees_with_bounded_enumeration() {
+        let sys = flag_sys();
+        let u = sys.universe();
+        let b = u.obj("beta").unwrap();
+        for src in ["alpha", "flag", "x"] {
+            let a = ObjSet::singleton(u.obj(src).unwrap());
+            for phi in [
+                Phi::True,
+                Phi::expr(Expr::var(u.obj("flag").unwrap()).not()),
+            ] {
+                let exact = depends(&sys, &phi, &a, b).unwrap().is_some();
+                let brute = depends_bounded(&sys, &phi, &a, b, 4).unwrap().is_some();
+                // Histories of length ≤ 4 are enough in this tiny system.
+                assert_eq!(exact, brute, "mismatch for source {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn sinks_row() {
+        let sys = flag_sys();
+        let u = sys.universe();
+        let a = u.obj("alpha").unwrap();
+        let b = u.obj("beta").unwrap();
+        let x = u.obj("x").unwrap();
+        let from_x = sinks(&sys, &Phi::True, &ObjSet::singleton(x)).unwrap();
+        // x flows to α (δ2), then to β (δ1), and stays in x.
+        assert!(from_x.contains(x) && from_x.contains(a) && from_x.contains(b));
+        // β never flows anywhere else.
+        let from_b = sinks(&sys, &Phi::True, &ObjSet::singleton(b)).unwrap();
+        assert_eq!(from_b, ObjSet::singleton(b));
+    }
+
+    #[test]
+    fn depends_set_needs_simultaneous_difference() {
+        let sys = flag_sys();
+        let u = sys.universe();
+        let a = u.obj("alpha").unwrap();
+        let b = u.obj("beta").unwrap();
+        // α reaches {α, β} simultaneously (before δ2 destroys α).
+        let ab = ObjSet::from_iter([a, b]);
+        assert!(depends_set(&sys, &Phi::True, &ObjSet::singleton(a), &ab)
+            .unwrap()
+            .is_some());
+        assert!(
+            depends_set(&sys, &Phi::True, &ObjSet::singleton(a), &ObjSet::empty())
+                .unwrap()
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn witness_history_is_minimal_length() {
+        // BFS explores by increasing depth, so the witness history is as
+        // short as possible.
+        let sys = flag_sys();
+        let u = sys.universe();
+        let a = u.obj("alpha").unwrap();
+        let b = u.obj("beta").unwrap();
+        let w = depends(&sys, &Phi::True, &ObjSet::singleton(a), b)
+            .unwrap()
+            .unwrap();
+        assert_eq!(w.history.len(), 1, "flag=true states allow a 1-step flow");
+    }
+}

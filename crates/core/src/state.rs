@@ -1,0 +1,294 @@
+//! States and the equality-except-at relations.
+//!
+//! A [`State`] stores, per object, an index into that object's domain. This
+//! keeps states small, hashable and cheap to compare — the pair-reachability
+//! decision procedure visits millions of them. The paper's relations
+//! `σ1 =α= σ2` (Def 1-2), `σ1 =A= σ2` (Def 1-1) and the substitution
+//! `σ2 ←A σ1` (Def 5-3) are provided as methods.
+
+use core::fmt;
+
+use crate::universe::{ObjId, ObjSet, Universe};
+use crate::value::Value;
+
+/// A system state: a vector of domain indices, one per object.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct State {
+    idx: Box<[u32]>,
+}
+
+impl State {
+    /// Builds a state from raw domain indices.
+    ///
+    /// The indices must be in range for the universe this state will be used
+    /// with; [`Universe`]-aware constructors on
+    /// [`crate::system::System`] are usually more convenient.
+    pub fn from_indices(idx: Vec<u32>) -> State {
+        State {
+            idx: idx.into_boxed_slice(),
+        }
+    }
+
+    /// The domain index of object `a`.
+    pub fn index(&self, a: ObjId) -> u32 {
+        self.idx[a.index()]
+    }
+
+    /// Sets the domain index of object `a`.
+    pub fn set_index(&mut self, a: ObjId, v: u32) {
+        self.idx[a.index()] = v;
+    }
+
+    /// The value of object `a` — `σ.α` in the paper's notation.
+    pub fn value<'u>(&self, u: &'u Universe, a: ObjId) -> &'u Value {
+        u.domain(a).value(self.idx[a.index()])
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Whether the state has no objects.
+    pub fn is_empty(&self) -> bool {
+        self.idx.is_empty()
+    }
+
+    /// `σ1 =A= σ2` (Def 1-1): the states agree on every object *not* in `A`.
+    pub fn eq_except(&self, other: &State, a: &ObjSet) -> bool {
+        debug_assert_eq!(self.len(), other.len());
+        (0..self.idx.len()).all(|i| {
+            let obj = ObjId::from_index(i);
+            a.contains(obj) || self.idx[i] == other.idx[i]
+        })
+    }
+
+    /// `σ1.A = σ2.A`: the states agree on every object *in* `A`.
+    pub fn eq_on(&self, other: &State, a: &ObjSet) -> bool {
+        a.iter().all(|obj| self.index(obj) == other.index(obj))
+    }
+
+    /// `σ2 ←A σ1` (Def 5-3): this state with `from`'s values substituted at
+    /// the objects in `a`.
+    #[must_use]
+    pub fn substitute(&self, a: &ObjSet, from: &State) -> State {
+        let mut out = self.clone();
+        for obj in a.iter() {
+            out.set_index(obj, from.index(obj));
+        }
+        out
+    }
+
+    /// The set of objects at which the two states differ.
+    pub fn diff(&self, other: &State) -> ObjSet {
+        debug_assert_eq!(self.len(), other.len());
+        ObjSet::from_iter(
+            (0..self.idx.len())
+                .filter(|&i| self.idx[i] != other.idx[i])
+                .map(ObjId::from_index),
+        )
+    }
+
+    /// The projection `σ.A` as a vector of domain indices in `A`'s sorted
+    /// object order. Used to group states into `=A=` equivalence classes.
+    pub fn project(&self, a: &ObjSet) -> Vec<u32> {
+        a.iter().map(|obj| self.index(obj)).collect()
+    }
+
+    /// The projection onto the *complement* of `A`.
+    pub fn project_complement(&self, a: &ObjSet) -> Vec<u32> {
+        (0..self.idx.len())
+            .filter(|&i| !a.contains(ObjId::from_index(i)))
+            .map(|i| self.idx[i])
+            .collect()
+    }
+
+    /// The global mixed-radix index of this state within `u`'s state space.
+    ///
+    /// Only meaningful when the state count fits in `u64` (checked by the
+    /// enumeration entry points).
+    pub fn encode(&self, u: &Universe) -> u64 {
+        let mut acc: u128 = 0;
+        for (i, &v) in self.idx.iter().enumerate() {
+            acc += u.stride(ObjId::from_index(i)) * v as u128;
+        }
+        acc as u64
+    }
+
+    /// Decodes a global state index back into a state.
+    pub fn decode(u: &Universe, mut code: u64) -> State {
+        let mut idx = vec![0u32; u.num_objects()];
+        for i in 0..u.num_objects() {
+            let stride = u.stride(ObjId::from_index(i)) as u64;
+            idx[i] = (code / stride) as u32;
+            code %= stride;
+        }
+        State::from_indices(idx)
+    }
+
+    /// Renders the state with object names and values.
+    pub fn display<'a>(&'a self, u: &'a Universe) -> StateDisplay<'a> {
+        StateDisplay { state: self, u }
+    }
+}
+
+impl fmt::Debug for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "State{:?}", self.idx)
+    }
+}
+
+/// Helper produced by [`State::display`].
+pub struct StateDisplay<'a> {
+    state: &'a State,
+    u: &'a Universe,
+}
+
+impl fmt::Display for StateDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, a) in self.u.objects().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}={}", self.u.name(a), self.state.value(self.u, a))?;
+        }
+        write!(f, ">")
+    }
+}
+
+/// Iterates over every state of a universe in mixed-radix order.
+pub struct StateIter<'u> {
+    u: &'u Universe,
+    next: Option<Vec<u32>>,
+}
+
+impl<'u> StateIter<'u> {
+    /// Creates an iterator over all states of `u`.
+    ///
+    /// Callers should bound the state count first via
+    /// [`Universe::checked_state_count`].
+    pub fn new(u: &'u Universe) -> StateIter<'u> {
+        let next = if u.num_objects() == 0 {
+            Some(Vec::new())
+        } else {
+            Some(vec![0u32; u.num_objects()])
+        };
+        StateIter { u, next }
+    }
+}
+
+impl Iterator for StateIter<'_> {
+    type Item = State;
+
+    fn next(&mut self) -> Option<State> {
+        let cur = self.next.take()?;
+        let out = State::from_indices(cur.clone());
+        // Advance the mixed-radix counter (last object varies fastest).
+        let mut cur = cur;
+        let mut i = cur.len();
+        loop {
+            if i == 0 {
+                self.next = None;
+                break;
+            }
+            i -= 1;
+            let obj = ObjId::from_index(i);
+            if (cur[i] + 1) < self.u.domain(obj).size() as u32 {
+                cur[i] += 1;
+                for slot in cur.iter_mut().skip(i + 1) {
+                    *slot = 0;
+                }
+                self.next = Some(cur);
+                break;
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Domain;
+
+    fn uni() -> Universe {
+        Universe::new(vec![
+            ("a".into(), Domain::boolean()),
+            ("b".into(), Domain::int_range(0, 2).unwrap()),
+            ("c".into(), Domain::boolean()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn enumerate_all_states() {
+        let u = uni();
+        let all: Vec<State> = StateIter::new(&u).collect();
+        assert_eq!(all.len(), 12);
+        // All distinct.
+        let set: std::collections::BTreeSet<_> = all.iter().cloned().collect();
+        assert_eq!(set.len(), 12);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let u = uni();
+        for (i, s) in StateIter::new(&u).enumerate() {
+            assert_eq!(s.encode(&u), i as u64);
+            assert_eq!(State::decode(&u, i as u64), s);
+        }
+    }
+
+    #[test]
+    fn eq_except_and_on() {
+        let u = uni();
+        let a = u.obj("a").unwrap();
+        let b = u.obj("b").unwrap();
+        let s1 = State::from_indices(vec![0, 1, 0]);
+        let s2 = State::from_indices(vec![1, 1, 0]);
+        let only_a = ObjSet::singleton(a);
+        assert!(s1.eq_except(&s2, &only_a));
+        assert!(!s2.eq_except(&s1, &ObjSet::singleton(b)));
+        assert!(s1.eq_on(&s2, &ObjSet::singleton(b)));
+        assert!(!s1.eq_on(&s2, &only_a));
+        assert_eq!(s1.diff(&s2), only_a);
+    }
+
+    #[test]
+    fn substitution_def_5_3() {
+        let u = uni();
+        let ab = u.obj_set(&["a", "b"]).unwrap();
+        let s1 = State::from_indices(vec![1, 2, 1]);
+        let s2 = State::from_indices(vec![0, 0, 0]);
+        // σ2 ←{a,b} σ1 agrees with σ1 on {a,b} and with σ2 elsewhere.
+        let sub = s2.substitute(&ab, &s1);
+        assert!(sub.eq_on(&s1, &ab));
+        assert!(sub.eq_except(&s2, &ab));
+        assert_eq!(sub, State::from_indices(vec![1, 2, 0]));
+    }
+
+    #[test]
+    fn projections() {
+        let u = uni();
+        let ac = u.obj_set(&["a", "c"]).unwrap();
+        let s = State::from_indices(vec![1, 2, 0]);
+        assert_eq!(s.project(&ac), vec![1, 0]);
+        assert_eq!(s.project_complement(&ac), vec![2]);
+    }
+
+    #[test]
+    fn display_shows_names() {
+        let u = uni();
+        let s = State::from_indices(vec![1, 2, 0]);
+        assert_eq!(s.display(&u).to_string(), "<a=true, b=2, c=false>");
+    }
+
+    #[test]
+    fn values_resolve_through_domain() {
+        let u = uni();
+        let b = u.obj("b").unwrap();
+        let s = State::from_indices(vec![0, 2, 0]);
+        assert_eq!(s.value(&u, b), &Value::Int(2));
+    }
+}

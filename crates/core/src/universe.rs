@@ -1,0 +1,427 @@
+//! Object universes: names, finite domains, and the state-space geometry.
+//!
+//! A state in the paper is a vector `<σ.n1, σ.n2, …>` over a fixed set of
+//! object names (§1.2). The [`Universe`] fixes that set together with each
+//! object's finite *domain* — the explicit set of values the object may take
+//! on. Finiteness makes every definition of the paper decidable; see
+//! DESIGN.md for the substitution argument.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::value::Value;
+
+/// Default cap on the number of states enumeration-based procedures accept.
+pub const DEFAULT_ENUM_LIMIT: u128 = 1 << 26;
+
+/// The identity of an object — an interned object name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(u32);
+
+impl ObjId {
+    /// The dense index of this object within its universe.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a dense index. Intended for iteration helpers; the
+    /// index must have come from the same universe.
+    pub fn from_index(i: usize) -> ObjId {
+        ObjId(u32::try_from(i).expect("object index fits in u32"))
+    }
+}
+
+/// The finite domain of an object: the explicit list of values it may hold.
+///
+/// For record-valued objects, `fields` names the record components
+/// positionally (e.g. `["data", "ptr"]` for the §4.3 pointer system).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Domain {
+    values: Vec<Value>,
+    fields: Vec<String>,
+}
+
+impl Domain {
+    /// Creates a scalar domain from a list of distinct values.
+    ///
+    /// Returns an error if the list is empty or contains duplicates.
+    pub fn new(values: Vec<Value>) -> Result<Domain> {
+        Domain::with_fields(values, Vec::new())
+    }
+
+    /// Creates a record domain with named fields.
+    ///
+    /// Every value must be a [`Value::Record`] with exactly
+    /// `fields.len()` components.
+    pub fn with_fields(values: Vec<Value>, fields: Vec<String>) -> Result<Domain> {
+        if values.is_empty() {
+            return Err(Error::Invalid("domain must be non-empty".into()));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for v in &values {
+            if !seen.insert(v.clone()) {
+                return Err(Error::Invalid(format!("duplicate domain value {v}")));
+            }
+            if !fields.is_empty() {
+                match v {
+                    Value::Record(comps) if comps.len() == fields.len() => {}
+                    _ => {
+                        return Err(Error::Invalid(format!(
+                            "record domain with {} fields has non-conforming value {v}",
+                            fields.len()
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(Domain { values, fields })
+    }
+
+    /// The boolean domain `{false, true}`.
+    pub fn boolean() -> Domain {
+        Domain {
+            values: vec![Value::Bool(false), Value::Bool(true)],
+            fields: Vec::new(),
+        }
+    }
+
+    /// An integer range domain `lo..=hi`.
+    pub fn int_range(lo: i64, hi: i64) -> Result<Domain> {
+        if lo > hi {
+            return Err(Error::Invalid(format!("empty int range {lo}..={hi}")));
+        }
+        Domain::new((lo..=hi).map(Value::Int).collect())
+    }
+
+    /// An explicit integer domain.
+    pub fn ints(vals: impl IntoIterator<Item = i64>) -> Result<Domain> {
+        Domain::new(vals.into_iter().map(Value::Int).collect())
+    }
+
+    /// Number of values in the domain.
+    pub fn size(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The values, in index order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The value at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn value(&self, index: u32) -> &Value {
+        &self.values[index as usize]
+    }
+
+    /// Looks up the index of `v` in this domain.
+    pub fn index_of(&self, v: &Value) -> Option<u32> {
+        self.values.iter().position(|x| x == v).map(|i| i as u32)
+    }
+
+    /// Field names for record domains (empty for scalar domains).
+    pub fn fields(&self) -> &[String] {
+        &self.fields
+    }
+
+    /// Resolves a field name to its positional index.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f == name)
+    }
+}
+
+/// A set of object names, kept sorted for canonical comparison.
+///
+/// This is the `A` in `σ1 =A= σ2` and `A ▷ β` (Defs 1-1, 2-6).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ObjSet {
+    ids: Vec<ObjId>,
+}
+
+impl ObjSet {
+    /// The empty set.
+    pub fn empty() -> ObjSet {
+        ObjSet::default()
+    }
+
+    /// A singleton set.
+    pub fn singleton(a: ObjId) -> ObjSet {
+        ObjSet { ids: vec![a] }
+    }
+
+    /// Builds a set from any iterator, deduplicating.
+    pub fn from_iter(ids: impl IntoIterator<Item = ObjId>) -> ObjSet {
+        let mut ids: Vec<ObjId> = ids.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ObjSet { ids }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, a: ObjId) -> bool {
+        self.ids.binary_search(&a).is_ok()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The members in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = ObjId> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// Inserts a member.
+    pub fn insert(&mut self, a: ObjId) {
+        if let Err(pos) = self.ids.binary_search(&a) {
+            self.ids.insert(pos, a);
+        }
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(&self, other: &ObjSet) -> ObjSet {
+        ObjSet::from_iter(self.iter().chain(other.iter()))
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &ObjSet) -> bool {
+        self.iter().all(|a| other.contains(a))
+    }
+}
+
+impl From<ObjId> for ObjSet {
+    fn from(a: ObjId) -> ObjSet {
+        ObjSet::singleton(a)
+    }
+}
+
+impl FromIterator<ObjId> for ObjSet {
+    fn from_iter<I: IntoIterator<Item = ObjId>>(iter: I) -> ObjSet {
+        ObjSet::from_iter(iter)
+    }
+}
+
+/// The fixed set of named objects and their domains.
+#[derive(Debug, Clone)]
+pub struct Universe {
+    names: Vec<String>,
+    domains: Vec<Domain>,
+    by_name: BTreeMap<String, ObjId>,
+    /// Mixed-radix strides for the global state index; `strides[i]` is the
+    /// product of the domain sizes of objects `i+1..`.
+    strides: Vec<u128>,
+    state_count: u128,
+}
+
+impl Universe {
+    /// Creates a universe from `(name, domain)` pairs.
+    ///
+    /// Object order is the declaration order; the paper's lexicographic
+    /// convention is only a presentation device, so any fixed order works.
+    pub fn new(objects: Vec<(String, Domain)>) -> Result<Universe> {
+        let mut names = Vec::with_capacity(objects.len());
+        let mut domains = Vec::with_capacity(objects.len());
+        let mut by_name = BTreeMap::new();
+        for (i, (name, dom)) in objects.into_iter().enumerate() {
+            if by_name.insert(name.clone(), ObjId(i as u32)).is_some() {
+                return Err(Error::DuplicateObject(name));
+            }
+            names.push(name);
+            domains.push(dom);
+        }
+        let mut strides = vec![1u128; names.len()];
+        let mut count: u128 = 1;
+        for i in (0..names.len()).rev() {
+            strides[i] = count;
+            count = count.saturating_mul(domains[i].size() as u128);
+        }
+        Ok(Universe {
+            names,
+            domains,
+            by_name,
+            strides,
+            state_count: count,
+        })
+    }
+
+    /// Number of objects.
+    pub fn num_objects(&self) -> usize {
+        self.names.len()
+    }
+
+    /// All object ids, in declaration order.
+    pub fn objects(&self) -> impl Iterator<Item = ObjId> + '_ {
+        (0..self.names.len()).map(ObjId::from_index)
+    }
+
+    /// All objects as an [`ObjSet`].
+    pub fn all_objects(&self) -> ObjSet {
+        ObjSet::from_iter(self.objects())
+    }
+
+    /// Resolves an object name.
+    pub fn obj(&self, name: &str) -> Result<ObjId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| Error::UnknownObject(name.to_string()))
+    }
+
+    /// Builds an [`ObjSet`] from names.
+    pub fn obj_set(&self, names: &[&str]) -> Result<ObjSet> {
+        names.iter().map(|n| self.obj(n)).collect()
+    }
+
+    /// The name of an object.
+    pub fn name(&self, a: ObjId) -> &str {
+        &self.names[a.index()]
+    }
+
+    /// The domain of an object.
+    pub fn domain(&self, a: ObjId) -> &Domain {
+        &self.domains[a.index()]
+    }
+
+    /// Total number of states (product of domain sizes), saturating.
+    pub fn state_count(&self) -> u128 {
+        self.state_count
+    }
+
+    /// Total number of states as `u64`, checked against `limit`.
+    pub fn checked_state_count(&self, limit: u128) -> Result<u64> {
+        if self.state_count > limit {
+            return Err(Error::StateSpaceTooLarge {
+                size: self.state_count,
+                limit,
+            });
+        }
+        Ok(self.state_count as u64)
+    }
+
+    /// The mixed-radix stride of object `a` within the global state index.
+    pub fn stride(&self, a: ObjId) -> u128 {
+        self.strides[a.index()]
+    }
+}
+
+impl fmt::Display for Universe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "universe ({} objects, {} states):",
+            self.num_objects(),
+            self.state_count
+        )?;
+        for a in self.objects() {
+            writeln!(
+                f,
+                "  {}: |domain| = {}",
+                self.name(a),
+                self.domain(a).size()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Universe {
+        Universe::new(vec![
+            ("a".into(), Domain::boolean()),
+            ("b".into(), Domain::int_range(0, 2).unwrap()),
+            ("c".into(), Domain::boolean()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn domain_rejects_dupes_and_empty() {
+        assert!(Domain::new(vec![]).is_err());
+        assert!(Domain::new(vec![Value::Int(1), Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn record_domain_checks_shape() {
+        let d = Domain::with_fields(
+            vec![Value::Record(vec![Value::Int(0), Value::Bool(true)])],
+            vec!["data".into(), "flag".into()],
+        )
+        .unwrap();
+        assert_eq!(d.field_index("flag"), Some(1));
+        assert_eq!(d.field_index("nope"), None);
+
+        let bad = Domain::with_fields(vec![Value::Int(0)], vec!["data".into()]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn universe_lookup_and_counts() {
+        let u = small();
+        assert_eq!(u.num_objects(), 3);
+        assert_eq!(u.state_count(), 2 * 3 * 2);
+        assert_eq!(u.name(u.obj("b").unwrap()), "b");
+        assert!(u.obj("zzz").is_err());
+        assert_eq!(u.checked_state_count(DEFAULT_ENUM_LIMIT).unwrap(), 12);
+        assert!(u.checked_state_count(5).is_err());
+    }
+
+    #[test]
+    fn duplicate_objects_rejected() {
+        let r = Universe::new(vec![
+            ("x".into(), Domain::boolean()),
+            ("x".into(), Domain::boolean()),
+        ]);
+        assert!(matches!(r, Err(Error::DuplicateObject(_))));
+    }
+
+    #[test]
+    fn strides_are_mixed_radix() {
+        let u = small();
+        let a = u.obj("a").unwrap();
+        let b = u.obj("b").unwrap();
+        let c = u.obj("c").unwrap();
+        assert_eq!(u.stride(a), 6);
+        assert_eq!(u.stride(b), 2);
+        assert_eq!(u.stride(c), 1);
+    }
+
+    #[test]
+    fn obj_set_semantics() {
+        let u = small();
+        let mut s = u.obj_set(&["c", "a"]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(u.obj("a").unwrap()));
+        assert!(!s.contains(u.obj("b").unwrap()));
+        s.insert(u.obj("b").unwrap());
+        assert_eq!(s.len(), 3);
+        s.insert(u.obj("b").unwrap());
+        assert_eq!(s.len(), 3);
+
+        let t = ObjSet::singleton(u.obj("a").unwrap());
+        assert!(t.is_subset(&s));
+        assert!(!s.is_subset(&t));
+        assert_eq!(t.union(&ObjSet::empty()), t);
+    }
+
+    #[test]
+    fn domain_index_roundtrip() {
+        let d = Domain::ints([10, 20, 30]).unwrap();
+        assert_eq!(d.index_of(&Value::Int(20)), Some(1));
+        assert_eq!(d.value(1), &Value::Int(20));
+        assert_eq!(d.index_of(&Value::Int(99)), None);
+    }
+}

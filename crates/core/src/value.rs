@@ -1,0 +1,245 @@
+//! Object values.
+//!
+//! The paper's states are vectors of *objects*, each holding a value (§1.2).
+//! Values may have internal structure (records with named fields, pointers
+//! to other objects by name, access-right sets for the §1.3 matrix model);
+//! that structure is "part of an interpretation", so it lives here in a
+//! single dynamically-checked [`Value`] type rather than in the abstract
+//! state machinery.
+
+use core::fmt;
+
+use crate::universe::ObjId;
+
+/// A set of access rights, as in the §1.3 access-matrix model.
+///
+/// The paper's simple system uses three rights: `s` (subject), `r` (read)
+/// and `w` (write). Five extra generic bits are available for richer matrix
+/// models (e.g. grant/take variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Rights(pub u8);
+
+impl Rights {
+    /// The empty right set.
+    pub const NONE: Rights = Rights(0);
+    /// `s`: may execute operations (is a subject).
+    pub const S: Rights = Rights(1);
+    /// `r`: may read.
+    pub const R: Rights = Rights(2);
+    /// `w`: may write.
+    pub const W: Rights = Rights(4);
+    /// `g`: may grant rights it holds to others.
+    pub const G: Rights = Rights(8);
+    /// `c`: confinement marker used by the matrix substrate.
+    pub const C: Rights = Rights(16);
+
+    /// Union of two right sets.
+    #[must_use]
+    pub fn union(self, other: Rights) -> Rights {
+        Rights(self.0 | other.0)
+    }
+
+    /// Intersection of two right sets.
+    #[must_use]
+    pub fn intersect(self, other: Rights) -> Rights {
+        Rights(self.0 & other.0)
+    }
+
+    /// Removes `other`'s rights from `self`.
+    #[must_use]
+    pub fn minus(self, other: Rights) -> Rights {
+        Rights(self.0 & !other.0)
+    }
+
+    /// Whether every right in `other` is present in `self`.
+    pub fn has(self, other: Rights) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Rights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "{{}}");
+        }
+        let mut out = String::new();
+        for (bit, ch) in [
+            (Rights::S, 's'),
+            (Rights::R, 'r'),
+            (Rights::W, 'w'),
+            (Rights::G, 'g'),
+            (Rights::C, 'c'),
+        ] {
+            if self.has(bit) {
+                out.push(ch);
+            }
+        }
+        // Any remaining generic bits are printed numerically.
+        let known = Rights::S.0 | Rights::R.0 | Rights::W.0 | Rights::G.0 | Rights::C.0;
+        let rest = self.0 & !known;
+        if rest != 0 {
+            out.push_str(&format!("+{rest:#x}"));
+        }
+        write!(f, "{{{out}}}")
+    }
+}
+
+/// The value of an object in some state (σ.α in the paper's notation).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// The unit value, for objects that exist only to be pointed at.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A (bounded) integer.
+    Int(i64),
+    /// The name of another object — a pointer, as in the §4.3 example.
+    Name(ObjId),
+    /// An access-right set — an access-matrix entry, as in §1.3.
+    Rights(Rights),
+    /// A record with positional fields; field names live in the object's
+    /// [`crate::universe::Domain`]. Models "objects with internal structure"
+    /// such as `x.data` / `x.ptr` (§4.3) or `m.left` / `m.right` (§4.6).
+    Record(Vec<Value>),
+}
+
+impl Value {
+    /// A short name for the value's kind, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Unit => "unit",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Name(_) => "name",
+            Value::Rights(_) => "rights",
+            Value::Record(_) => "record",
+        }
+    }
+
+    /// Extracts a boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Extracts an integer, if this is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Extracts an object name, if this is one.
+    pub fn as_name(&self) -> Option<ObjId> {
+        match self {
+            Value::Name(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Extracts a right set, if this is one.
+    pub fn as_rights(&self) -> Option<Rights> {
+        match self {
+            Value::Rights(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Name(n) => write!(f, "@{}", n.index()),
+            Value::Rights(r) => write!(f, "{r}"),
+            Value::Record(fields) => {
+                write!(f, "(")?;
+                for (i, v) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<Rights> for Value {
+    fn from(r: Rights) -> Value {
+        Value::Rights(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rights_algebra() {
+        let srw = Rights::S.union(Rights::R).union(Rights::W);
+        assert!(srw.has(Rights::R));
+        assert!(srw.has(Rights::S.union(Rights::W)));
+        assert!(!srw.has(Rights::G));
+        assert_eq!(srw.minus(Rights::R), Rights::S.union(Rights::W));
+        assert_eq!(srw.intersect(Rights::R.union(Rights::G)), Rights::R);
+        assert!(Rights::NONE.is_empty());
+    }
+
+    #[test]
+    fn rights_display() {
+        assert_eq!(Rights::NONE.to_string(), "{}");
+        assert_eq!(Rights::S.union(Rights::W).to_string(), "{sw}");
+        assert_eq!(Rights(32).to_string(), "{+0x20}");
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_bool(), None);
+        assert_eq!(Value::Rights(Rights::R).as_rights(), Some(Rights::R));
+        assert_eq!(Value::Unit.kind(), "unit");
+    }
+
+    #[test]
+    fn value_display() {
+        let v = Value::Record(vec![Value::Int(1), Value::Bool(false)]);
+        assert_eq!(v.to_string(), "(1, false)");
+    }
+
+    #[test]
+    fn value_ordering_is_total() {
+        let mut vals = vec![Value::Int(2), Value::Bool(true), Value::Int(1), Value::Unit];
+        vals.sort();
+        // Sorting must not panic, and equal values compare equal.
+        assert_eq!(vals.len(), 4);
+        assert_eq!(
+            Value::Int(1).cmp(&Value::Int(1)),
+            core::cmp::Ordering::Equal
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Property-based tests for the core data structures and the constraint
+//! algebra, checked against reference models.
+
+use proptest::prelude::*;
+use sd_core::bitset::BitSet;
+use sd_core::{Cmd, Domain, Expr, History, ObjSet, Op, OpId, Phi, State, System, Universe};
+use std::collections::BTreeSet;
+
+const CAP: u64 = 200;
+
+fn arb_bits() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0..CAP, 0..40)
+}
+
+fn to_bitset(items: &[u64]) -> BitSet {
+    let mut s = BitSet::new(CAP);
+    for &i in items {
+        s.insert(i);
+    }
+    s
+}
+
+fn to_model(items: &[u64]) -> BTreeSet<u64> {
+    items.iter().copied().collect()
+}
+
+proptest! {
+    #[test]
+    fn bitset_union_matches_model(a in arb_bits(), b in arb_bits()) {
+        let mut s = to_bitset(&a);
+        s.union_with(&to_bitset(&b));
+        let model: BTreeSet<u64> = to_model(&a).union(&to_model(&b)).copied().collect();
+        prop_assert_eq!(s.iter().collect::<BTreeSet<_>>(), model);
+    }
+
+    #[test]
+    fn bitset_intersection_matches_model(a in arb_bits(), b in arb_bits()) {
+        let mut s = to_bitset(&a);
+        s.intersect_with(&to_bitset(&b));
+        let model: BTreeSet<u64> =
+            to_model(&a).intersection(&to_model(&b)).copied().collect();
+        prop_assert_eq!(s.iter().collect::<BTreeSet<_>>(), model);
+    }
+
+    #[test]
+    fn bitset_difference_matches_model(a in arb_bits(), b in arb_bits()) {
+        let mut s = to_bitset(&a);
+        s.difference_with(&to_bitset(&b));
+        let model: BTreeSet<u64> =
+            to_model(&a).difference(&to_model(&b)).copied().collect();
+        prop_assert_eq!(s.iter().collect::<BTreeSet<_>>(), model);
+    }
+
+    #[test]
+    fn bitset_complement_involution(a in arb_bits()) {
+        let s = to_bitset(&a);
+        let mut c = s.clone();
+        c.complement();
+        prop_assert_eq!(c.count() + s.count(), CAP);
+        c.complement();
+        prop_assert_eq!(c, s);
+    }
+
+    #[test]
+    fn bitset_subset_matches_model(a in arb_bits(), b in arb_bits()) {
+        let sa = to_bitset(&a);
+        let sb = to_bitset(&b);
+        prop_assert_eq!(
+            sa.is_subset(&sb),
+            to_model(&a).is_subset(&to_model(&b))
+        );
+    }
+
+    #[test]
+    fn objset_union_and_membership(
+        a in prop::collection::vec(0usize..12, 0..8),
+        b in prop::collection::vec(0usize..12, 0..8),
+    ) {
+        use sd_core::ObjId;
+        let sa: ObjSet = a.iter().map(|&i| ObjId::from_index(i)).collect();
+        let sb: ObjSet = b.iter().map(|&i| ObjId::from_index(i)).collect();
+        let u = sa.union(&sb);
+        for i in 0..12 {
+            let id = ObjId::from_index(i);
+            prop_assert_eq!(u.contains(id), sa.contains(id) || sb.contains(id));
+        }
+        prop_assert!(sa.is_subset(&u) && sb.is_subset(&u));
+        // Sorted and deduplicated.
+        let items: Vec<_> = u.iter().collect();
+        let mut sorted = items.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(items, sorted);
+    }
+
+    #[test]
+    fn history_concat_split_roundtrip(
+        a in prop::collection::vec(0u32..4, 0..6),
+        b in prop::collection::vec(0u32..4, 0..6),
+    ) {
+        let ha = History::from_ops(a.iter().copied().map(OpId).collect());
+        let hb = History::from_ops(b.iter().copied().map(OpId).collect());
+        let h = ha.concat(&hb);
+        prop_assert_eq!(h.len(), ha.len() + hb.len());
+        let (p, q) = h.split_at(ha.len());
+        prop_assert_eq!(p, ha);
+        prop_assert_eq!(q, hb);
+    }
+}
+
+/// A fixed little universe for state and constraint properties.
+fn uni() -> Universe {
+    Universe::new(vec![
+        ("a".into(), Domain::int_range(0, 2).unwrap()),
+        ("b".into(), Domain::int_range(0, 3).unwrap()),
+        ("c".into(), Domain::boolean()),
+    ])
+    .unwrap()
+}
+
+fn sys() -> System {
+    let u = uni();
+    let a = u.obj("a").unwrap();
+    let b = u.obj("b").unwrap();
+    System::new(
+        u,
+        vec![Op::from_cmd(
+            "copyish",
+            Cmd::when(Expr::var(a).lt(Expr::int(2)), Cmd::assign(b, Expr::var(a))),
+        )],
+    )
+}
+
+fn arb_state() -> impl Strategy<Value = State> {
+    (0u32..3, 0u32..4, 0u32..2).prop_map(|(a, b, c)| State::from_indices(vec![a, b, c]))
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(s in arb_state()) {
+        let u = uni();
+        prop_assert_eq!(State::decode(&u, s.encode(&u)), s);
+    }
+
+    #[test]
+    fn substitution_laws(s1 in arb_state(), s2 in arb_state()) {
+        let u = uni();
+        let ab = u.obj_set(&["a", "b"]).unwrap();
+        // Def 5-3: σ2 ←A σ1 agrees with σ1 on A and with σ2 elsewhere.
+        let sub = s2.substitute(&ab, &s1);
+        prop_assert!(sub.eq_on(&s1, &ab));
+        prop_assert!(sub.eq_except(&s2, &ab));
+        // Idempotence and identity.
+        prop_assert_eq!(sub.substitute(&ab, &s1), sub.clone());
+        prop_assert_eq!(s2.substitute(&ObjSet::empty(), &s1), s2.clone());
+    }
+
+    #[test]
+    fn eq_except_is_equivalence_with_diff(s1 in arb_state(), s2 in arb_state()) {
+        let set = s1.diff(&s2);
+        prop_assert!(s1.eq_except(&s2, &set));
+        // Minimality: removing any member breaks it (unless equal there).
+        for obj in set.iter() {
+            let smaller: ObjSet = set.iter().filter(|&o| o != obj).collect();
+            prop_assert!(!s1.eq_except(&s2, &smaller));
+        }
+    }
+
+    #[test]
+    fn phi_algebra_matches_set_algebra(t1 in 0i64..3, t2 in 0i64..4) {
+        let sys = sys();
+        let u = sys.universe();
+        let a = u.obj("a").unwrap();
+        let b = u.obj("b").unwrap();
+        let p = Phi::expr(Expr::var(a).lt(Expr::int(t1)));
+        let q = Phi::expr(Expr::var(b).lt(Expr::int(t2)));
+
+        let sp = p.sat(&sys).unwrap();
+        let sq = q.sat(&sys).unwrap();
+
+        let mut expected_and = sp.clone();
+        expected_and.intersect_with(&sq);
+        prop_assert_eq!(p.clone().and(q.clone()).sat(&sys).unwrap(), expected_and);
+
+        let mut expected_or = sp.clone();
+        expected_or.union_with(&sq);
+        prop_assert_eq!(p.clone().or(q.clone()).sat(&sys).unwrap(), expected_or);
+
+        let mut expected_not = sp.clone();
+        expected_not.complement();
+        prop_assert_eq!(p.clone().not().sat(&sys).unwrap(), expected_not);
+
+        // Entailment is subset.
+        prop_assert_eq!(
+            p.entails(&sys, &q).unwrap(),
+            sp.is_subset(&sq)
+        );
+    }
+
+    #[test]
+    fn run_composes(s in arb_state(), n in 0usize..4) {
+        let sys = sys();
+        let h = History::from_ops(vec![OpId(0); n]);
+        let composed = sys.run(&s, &h).unwrap();
+        let mut stepped = s;
+        for _ in 0..n {
+            stepped = sys.apply(OpId(0), &stepped).unwrap();
+        }
+        prop_assert_eq!(composed, stepped);
+    }
+}

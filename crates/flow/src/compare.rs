@@ -1,0 +1,128 @@
+//! Precision comparison: static baseline vs exact strong dependency.
+//!
+//! The paper's central methodological claim (§1.5, §4.4) is that
+//! flow-model analyses which assume transitivity over-approximate real
+//! information transmission, while strong dependency is exact. This module
+//! quantifies the gap on any finite system.
+
+use std::fmt;
+
+use sd_core::{Phi, Result, System};
+
+use crate::flowrel::{semantic_flows, transitive_flows, Relation};
+
+/// The outcome of comparing the static baseline against the exact
+/// semantics on one system.
+#[derive(Debug, Clone)]
+pub struct PrecisionReport {
+    /// Flows reported by the transitive static baseline.
+    pub static_flows: Relation,
+    /// Flows that really exist (strong dependency, given φ).
+    pub semantic_flows: Relation,
+    /// Static flows with no semantic counterpart (false positives).
+    pub false_positives: Relation,
+    /// Semantic flows the static analysis missed (must be empty — the
+    /// baseline is sound; kept for the machine-checked statement).
+    pub missed: Relation,
+}
+
+impl PrecisionReport {
+    /// Whether the baseline is sound on this system (no missed flows).
+    pub fn sound(&self) -> bool {
+        self.missed.is_empty()
+    }
+
+    /// Precision: |semantic| / |static| over non-reflexive pairs, in
+    /// [0, 1]; 1.0 means the baseline is exact here.
+    pub fn precision(&self) -> f64 {
+        let stat = self.static_flows.iter().filter(|(a, b)| a != b).count();
+        let sem = self.semantic_flows.iter().filter(|(a, b)| a != b).count();
+        if stat == 0 {
+            1.0
+        } else {
+            sem as f64 / stat as f64
+        }
+    }
+}
+
+impl fmt::Display for PrecisionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "static: {} flows, semantic: {} flows, false positives: {}, precision {:.2}",
+            self.static_flows.len(),
+            self.semantic_flows.len(),
+            self.false_positives.len(),
+            self.precision()
+        )
+    }
+}
+
+/// Compares the transitive static baseline (which ignores φ — it cannot
+/// exploit constraints) against exact strong dependency under φ.
+pub fn compare(sys: &System, phi: &Phi) -> Result<PrecisionReport> {
+    let stat = transitive_flows(sys)?;
+    let sem = semantic_flows(sys, phi)?;
+    let false_positives = stat.difference(&sem).copied().collect();
+    let missed = sem.difference(&stat).copied().collect();
+    Ok(PrecisionReport {
+        static_flows: stat,
+        semantic_flows: sem,
+        false_positives,
+        missed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sd_core::examples;
+
+    #[test]
+    fn nontransitive_system_has_false_positives() {
+        let sys = examples::nontransitive_system(2).unwrap();
+        let r = compare(&sys, &Phi::True).unwrap();
+        assert!(r.sound());
+        assert!(!r.false_positives.is_empty());
+        assert!(r.precision() < 1.0);
+        let u = sys.universe();
+        let a = u.obj("alpha").unwrap();
+        let b = u.obj("beta").unwrap();
+        assert!(r.false_positives.contains(&(a, b)));
+    }
+
+    #[test]
+    fn plain_copy_is_exact() {
+        let sys = examples::copy_system(3).unwrap();
+        let r = compare(&sys, &Phi::True).unwrap();
+        assert!(r.sound());
+        assert!(r.false_positives.is_empty());
+        assert!((r.precision() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constraints_widen_the_gap() {
+        // Under φ: ¬m in the guarded copy, the semantic relation drops the
+        // α → β path but the state-blind static baseline cannot.
+        let sys = examples::guarded_copy_system(2).unwrap();
+        let u = sys.universe();
+        let m = u.obj("m").unwrap();
+        let a = u.obj("alpha").unwrap();
+        let b = u.obj("beta").unwrap();
+        let free = compare(&sys, &Phi::True).unwrap();
+        assert!(free.semantic_flows.contains(&(a, b)));
+        let phi = Phi::expr(sd_core::Expr::var(m).not());
+        let constrained = compare(&sys, &phi).unwrap();
+        assert!(!constrained.semantic_flows.contains(&(a, b)));
+        assert!(constrained.false_positives.contains(&(a, b)));
+        assert!(constrained.precision() < free.precision());
+    }
+
+    #[test]
+    fn display_renders_counts() {
+        let sys = examples::copy_system(2).unwrap();
+        let r = compare(&sys, &Phi::True).unwrap();
+        let s = r.to_string();
+        assert!(s.contains("precision"));
+    }
+}

@@ -1,0 +1,348 @@
+//! Finite security lattices.
+//!
+//! The Security Problem (§3.4) classifies objects and demands that
+//! information only move upward. Following the paper's note that
+//! classifications "need not be a single value, but could be a vector of
+//! clearance/classification values", labels form a *lattice*: a partial
+//! order with least upper bounds. This module provides finite lattices with
+//! verified laws — chains, powersets of categories, products, and arbitrary
+//! user-supplied orders.
+
+use std::fmt;
+
+use sd_core::{Error, Result};
+
+/// An element of a [`FiniteLattice`], by index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(pub usize);
+
+/// A finite lattice given by an explicit order relation, with joins and
+/// meets precomputed and the lattice laws verified at construction.
+#[derive(Debug, Clone)]
+pub struct FiniteLattice {
+    names: Vec<String>,
+    leq: Vec<Vec<bool>>,
+    join: Vec<Vec<usize>>,
+    meet: Vec<Vec<usize>>,
+}
+
+impl FiniteLattice {
+    /// Builds a lattice from element names and a ≤ relation.
+    ///
+    /// Verifies that `leq` is a partial order and that every pair has a
+    /// least upper bound and a greatest lower bound.
+    pub fn from_leq(names: Vec<String>, leq: Vec<Vec<bool>>) -> Result<FiniteLattice> {
+        let n = names.len();
+        if n == 0 {
+            return Err(Error::Invalid("lattice must be non-empty".into()));
+        }
+        if leq.len() != n || leq.iter().any(|r| r.len() != n) {
+            return Err(Error::Invalid("leq must be an n×n matrix".into()));
+        }
+        // Partial order laws.
+        for a in 0..n {
+            if !leq[a][a] {
+                return Err(Error::Invalid(format!("≤ not reflexive at {}", names[a])));
+            }
+            for b in 0..n {
+                if a != b && leq[a][b] && leq[b][a] {
+                    return Err(Error::Invalid(format!(
+                        "≤ not antisymmetric at ({}, {})",
+                        names[a], names[b]
+                    )));
+                }
+                for c in 0..n {
+                    if leq[a][b] && leq[b][c] && !leq[a][c] {
+                        return Err(Error::Invalid(format!(
+                            "≤ not transitive at ({}, {}, {})",
+                            names[a], names[b], names[c]
+                        )));
+                    }
+                }
+            }
+        }
+        // Joins and meets.
+        let mut join = vec![vec![0usize; n]; n];
+        let mut meet = vec![vec![0usize; n]; n];
+        for a in 0..n {
+            for b in 0..n {
+                join[a][b] = lub(&leq, a, b).ok_or_else(|| {
+                    Error::Invalid(format!("no join for ({}, {})", names[a], names[b]))
+                })?;
+                meet[a][b] = glb(&leq, a, b).ok_or_else(|| {
+                    Error::Invalid(format!("no meet for ({}, {})", names[a], names[b]))
+                })?;
+            }
+        }
+        Ok(FiniteLattice {
+            names,
+            leq,
+            join,
+            meet,
+        })
+    }
+
+    /// The two-point lattice `L ≤ H`.
+    pub fn two_point() -> FiniteLattice {
+        FiniteLattice::chain(&["L", "H"]).expect("two-point chain is a lattice")
+    }
+
+    /// A totally ordered chain with the given level names (low to high).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sd_flow::FiniteLattice;
+    ///
+    /// let l = FiniteLattice::chain(&["U", "C", "S", "TS"])?;
+    /// assert!(l.leq(l.label("U")?, l.label("TS")?));
+    /// assert_eq!(l.top(), l.label("TS")?);
+    /// # Ok::<(), sd_core::Error>(())
+    /// ```
+    pub fn chain(levels: &[&str]) -> Result<FiniteLattice> {
+        let n = levels.len();
+        let leq = (0..n).map(|a| (0..n).map(|b| a <= b).collect()).collect();
+        FiniteLattice::from_leq(levels.iter().map(|s| s.to_string()).collect(), leq)
+    }
+
+    /// The powerset lattice over `categories`, ordered by inclusion —
+    /// Denning-style category sets. Element `i` is the subset with bit
+    /// pattern `i`.
+    pub fn powerset(categories: &[&str]) -> Result<FiniteLattice> {
+        let k = categories.len();
+        if k > 8 {
+            return Err(Error::Invalid("at most 8 categories supported".into()));
+        }
+        let n = 1usize << k;
+        let names = (0..n)
+            .map(|mask| {
+                if mask == 0 {
+                    "{}".to_string()
+                } else {
+                    let parts: Vec<&str> = (0..k)
+                        .filter(|i| mask & (1 << i) != 0)
+                        .map(|i| categories[i])
+                        .collect();
+                    format!("{{{}}}", parts.join(","))
+                }
+            })
+            .collect();
+        let leq = (0..n)
+            .map(|a| (0..n).map(|b| a & b == a).collect())
+            .collect();
+        FiniteLattice::from_leq(names, leq)
+    }
+
+    /// The product lattice: pairs ordered componentwise (e.g. clearance
+    /// level × category set).
+    pub fn product(l1: &FiniteLattice, l2: &FiniteLattice) -> Result<FiniteLattice> {
+        let n1 = l1.len();
+        let n2 = l2.len();
+        let mut names = Vec::with_capacity(n1 * n2);
+        for a in 0..n1 {
+            for b in 0..n2 {
+                names.push(format!("({},{})", l1.names[a], l2.names[b]));
+            }
+        }
+        let idx = |a: usize, b: usize| a * n2 + b;
+        let mut leq = vec![vec![false; n1 * n2]; n1 * n2];
+        for a1 in 0..n1 {
+            for b1 in 0..n2 {
+                for a2 in 0..n1 {
+                    for b2 in 0..n2 {
+                        leq[idx(a1, b1)][idx(a2, b2)] = l1.leq[a1][a2] && l2.leq[b1][b2];
+                    }
+                }
+            }
+        }
+        FiniteLattice::from_leq(names, leq)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the lattice is empty (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Looks up a label by name.
+    pub fn label(&self, name: &str) -> Result<Label> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(Label)
+            .ok_or_else(|| Error::Invalid(format!("unknown label `{name}`")))
+    }
+
+    /// The name of a label.
+    pub fn name(&self, l: Label) -> &str {
+        &self.names[l.0]
+    }
+
+    /// `a ≤ b`.
+    pub fn leq(&self, a: Label, b: Label) -> bool {
+        self.leq[a.0][b.0]
+    }
+
+    /// Least upper bound.
+    pub fn join(&self, a: Label, b: Label) -> Label {
+        Label(self.join[a.0][b.0])
+    }
+
+    /// Greatest lower bound.
+    pub fn meet(&self, a: Label, b: Label) -> Label {
+        Label(self.meet[a.0][b.0])
+    }
+
+    /// The least element ⊥.
+    pub fn bottom(&self) -> Label {
+        let mut cur = Label(0);
+        for i in 1..self.len() {
+            cur = self.meet(cur, Label(i));
+        }
+        cur
+    }
+
+    /// The greatest element ⊤.
+    pub fn top(&self) -> Label {
+        let mut cur = Label(0);
+        for i in 1..self.len() {
+            cur = self.join(cur, Label(i));
+        }
+        cur
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> impl Iterator<Item = Label> {
+        (0..self.len()).map(Label)
+    }
+}
+
+impl fmt::Display for FiniteLattice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lattice[{}]", self.names.join(" "))
+    }
+}
+
+fn lub(leq: &[Vec<bool>], a: usize, b: usize) -> Option<usize> {
+    let n = leq.len();
+    let uppers: Vec<usize> = (0..n).filter(|&u| leq[a][u] && leq[b][u]).collect();
+    uppers
+        .iter()
+        .copied()
+        .find(|&u| uppers.iter().all(|&v| leq[u][v]))
+}
+
+fn glb(leq: &[Vec<bool>], a: usize, b: usize) -> Option<usize> {
+    let n = leq.len();
+    let lowers: Vec<usize> = (0..n).filter(|&l| leq[l][a] && leq[l][b]).collect();
+    lowers
+        .iter()
+        .copied()
+        .find(|&l| lowers.iter().all(|&v| leq[v][l]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_orders_totally() {
+        let l = FiniteLattice::chain(&["U", "C", "S", "TS"]).unwrap();
+        let u = l.label("U").unwrap();
+        let ts = l.label("TS").unwrap();
+        assert!(l.leq(u, ts));
+        assert!(!l.leq(ts, u));
+        assert_eq!(l.join(u, ts), ts);
+        assert_eq!(l.meet(u, ts), u);
+        assert_eq!(l.bottom(), u);
+        assert_eq!(l.top(), ts);
+    }
+
+    #[test]
+    fn powerset_is_inclusion() {
+        let l = FiniteLattice::powerset(&["nuc", "crypto"]).unwrap();
+        assert_eq!(l.len(), 4);
+        let empty = Label(0b00);
+        let nuc = Label(0b01);
+        let crypto = Label(0b10);
+        let both = Label(0b11);
+        assert!(l.leq(empty, nuc));
+        assert!(!l.leq(nuc, crypto));
+        assert_eq!(l.join(nuc, crypto), both);
+        assert_eq!(l.meet(nuc, crypto), empty);
+        assert_eq!(l.name(both), "{nuc,crypto}");
+    }
+
+    #[test]
+    fn product_is_componentwise() {
+        let levels = FiniteLattice::two_point();
+        let cats = FiniteLattice::powerset(&["x"]).unwrap();
+        let p = FiniteLattice::product(&levels, &cats).unwrap();
+        assert_eq!(p.len(), 4);
+        // (L,{}) ≤ (H,{x}) but (L,{x}) and (H,{}) are incomparable.
+        let l_empty = p.label("(L,{})").unwrap();
+        let h_x = p.label("(H,{x})").unwrap();
+        let l_x = p.label("(L,{x})").unwrap();
+        let h_empty = p.label("(H,{})").unwrap();
+        assert!(p.leq(l_empty, h_x));
+        assert!(!p.leq(l_x, h_empty));
+        assert!(!p.leq(h_empty, l_x));
+        assert_eq!(p.join(l_x, h_empty), h_x);
+    }
+
+    #[test]
+    fn invalid_orders_rejected() {
+        // Not reflexive.
+        let r = FiniteLattice::from_leq(vec!["a".into()], vec![vec![false]]);
+        assert!(r.is_err());
+        // Not antisymmetric.
+        let r2 = FiniteLattice::from_leq(
+            vec!["a".into(), "b".into()],
+            vec![vec![true, true], vec![true, true]],
+        );
+        assert!(r2.is_err());
+        // No join: two incomparable elements with two incomparable uppers
+        // (the "diamond-free" N5-ish failure).
+        let names: Vec<String> = ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect();
+        // a, b incomparable; c, d both above a and b; c, d incomparable.
+        let mut leq = vec![vec![false; 4]; 4];
+        for i in 0..4 {
+            leq[i][i] = true;
+        }
+        leq[0][2] = true;
+        leq[0][3] = true;
+        leq[1][2] = true;
+        leq[1][3] = true;
+        let r3 = FiniteLattice::from_leq(names, leq);
+        assert!(r3.to_owned().is_err());
+        assert!(r3.unwrap_err().to_string().contains("no join"));
+    }
+
+    #[test]
+    fn lattice_laws_hold_on_constructions() {
+        for l in [
+            FiniteLattice::two_point(),
+            FiniteLattice::chain(&["1", "2", "3"]).unwrap(),
+            FiniteLattice::powerset(&["a", "b", "c"]).unwrap(),
+        ] {
+            for a in l.labels() {
+                for b in l.labels() {
+                    let j = l.join(a, b);
+                    assert!(l.leq(a, j) && l.leq(b, j));
+                    let m = l.meet(a, b);
+                    assert!(l.leq(m, a) && l.leq(m, b));
+                    // Commutativity.
+                    assert_eq!(l.join(a, b), l.join(b, a));
+                    assert_eq!(l.meet(a, b), l.meet(b, a));
+                    // Absorption.
+                    assert_eq!(l.join(a, l.meet(a, b)), a);
+                    assert_eq!(l.meet(a, l.join(a, b)), a);
+                }
+            }
+        }
+    }
+}

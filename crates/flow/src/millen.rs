@@ -1,0 +1,335 @@
+//! Constraint-aware static flow analysis, after [Millen 76] (§1.5).
+//!
+//! §1.5 notes that Millen "has shown how certain information paths may be
+//! ignored in the face of appropriate constraints", and that the Strong
+//! Dependency theory both validates the approach and determines its
+//! limits. This module implements a cover-sensitive refinement of the
+//! transitive baseline:
+//!
+//! Given an inductive cover `{φi}` (Def 6-2), per-operation flow
+//! relations are computed *under each piece* — `α -(δ | φi)-> β` is
+//! single-operation strong dependency given φi — and composed along the
+//! cover's own transition structure (piece i steps to piece j under δ
+//! when `δ(Sat(φi)) ⊆ Sat(φj)`). Reachability in the product graph over
+//! (piece, object) yields a flow relation that is:
+//!
+//! - **sound**: it contains every real flow (each real history threads
+//!   through cover pieces, and each step's dependency is inside the
+//!   per-piece relation);
+//! - **at least as precise as the baseline**: per-piece relations are
+//!   subsets of the unconstrained ones;
+//! - **still conservative**: it assumes transitivity within a piece, so
+//!   the §4.4 example is only resolved when the cover separates the
+//!   conflicting guard values — exactly Millen's "appropriate
+//!   constraints".
+
+use std::collections::BTreeSet;
+
+use sd_core::{History, ObjId, ObjSet, OpId, Phi, Result, System};
+
+use crate::flowrel::Relation;
+
+/// The per-operation flow relation *under a constraint*:
+/// `{(α, β) | α ▷φδ β}`.
+pub fn op_flow_relation_under(sys: &System, phi: &Phi, op: OpId) -> Result<Relation> {
+    let mut out = Relation::new();
+    let h = History::single(op);
+    for alpha in sys.universe().objects() {
+        let sinks = sd_core::depend::sinks_after(sys, phi, &ObjSet::singleton(alpha), &h)?;
+        for beta in sinks.iter() {
+            out.insert((alpha, beta));
+        }
+    }
+    Ok(out)
+}
+
+/// Cover-sensitive transitive flows from an initial constraint φ with
+/// inductive cover `{φi}`.
+///
+/// Returns the set of `(α, β)` pairs reachable in the product graph:
+/// start at any piece containing Sat(φ) with α = β, step with
+/// `(i, x) → (j, y)` whenever `x -(δ | φi)-> y` and δ sends piece i into
+/// piece j.
+///
+/// Soundness preconditions (checked; each failure is an error):
+///
+/// - the pieces cover the state space and are **one-step closed**
+///   (`δ(Sat(φi)) ⊆ Sat(φj)` for some j — the §6.4 sufficient condition
+///   for Def 6-2);
+/// - every piece is **autonomous** — this is "the limit of Millen's
+///   approach" the paper announces in §1.5: under a non-autonomous piece,
+///   per-single-object relations under-approximate (Thm 4-1's
+///   intermediate object need not exist; only a *set* intermediate does,
+///   per Thm 5-4) and the composition misses real flows. See
+///   [`cover_sensitive_flows_unchecked`] and its test for a concrete
+///   demonstration of the unsoundness.
+///
+/// Additionally, tracking a source α through single pieces requires the
+/// pieces not to split α's own variety; for sources where some piece is
+/// not α-independent, the analysis falls back to the unconstrained
+/// baseline row for that source (conservative, still sound).
+pub fn cover_sensitive_flows(sys: &System, phi: &Phi, cover: &[Phi]) -> Result<Relation> {
+    for (i, piece) in cover.iter().enumerate() {
+        if !sd_core::classify::is_autonomous(sys, piece)? {
+            return Err(sd_core::Error::Invalid(format!(
+                "cover piece {i} is not autonomous; per-object composition \
+                 would be unsound (the §1.5 limit of constraint-aware analysis)"
+            )));
+        }
+    }
+    let n = sys.state_count()?;
+    let mut union = sd_core::StateSet::new(n);
+    for piece in cover {
+        union.union_with(&piece.sat(sys)?);
+    }
+    if union.count() != n {
+        return Err(sd_core::Error::Invalid(
+            "pieces do not cover the state space".into(),
+        ));
+    }
+    cover_sensitive_flows_unchecked(sys, phi, cover)
+}
+
+/// [`cover_sensitive_flows`] without the autonomy guard. Unsound for
+/// non-autonomous pieces — exposed so the limitation can be demonstrated
+/// and studied.
+pub fn cover_sensitive_flows_unchecked(sys: &System, phi: &Phi, cover: &[Phi]) -> Result<Relation> {
+    let n_obj = sys.universe().num_objects();
+    let n_piece = cover.len();
+    let sats: Vec<_> = cover
+        .iter()
+        .map(|p| p.sat(sys))
+        .collect::<Result<Vec<_>>>()?;
+
+    // Per-piece, per-op relations and piece transitions. Every piece must
+    // step into SOME piece under every operation (one-step closure), or
+    // the product graph would silently drop trajectories.
+    let mut rel = vec![Vec::new(); n_piece];
+    let mut step = vec![Vec::new(); n_piece];
+    for (i, piece) in cover.iter().enumerate() {
+        for op in sys.op_ids() {
+            let r = op_flow_relation_under(sys, piece, op)?;
+            // δ sends piece i into any piece containing its image.
+            let img = sd_core::after::image_op(sys, &sats[i], op)?;
+            let targets: Vec<usize> = (0..n_piece).filter(|&j| img.is_subset(&sats[j])).collect();
+            if targets.is_empty() && !sats[i].is_empty() {
+                return Err(sd_core::Error::Invalid(format!(
+                    "pieces are not one-step closed: δ{} scatters piece {i}",
+                    op.0
+                )));
+            }
+            rel[i].push(r);
+            step[i].push(targets);
+        }
+    }
+
+    // Baseline rows for the conservative fallback.
+    let baseline = crate::flowrel::transitive_flows(sys)?;
+    // Piece membership mask per state (pieces may overlap).
+    let membership = |code: u64| -> u64 {
+        let mut mask = 0u64;
+        for (i, sat) in sats.iter().enumerate() {
+            if sat.contains(code) {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    };
+    if n_piece > 64 {
+        return Err(sd_core::Error::Invalid(
+            "at most 64 pieces supported".into(),
+        ));
+    }
+
+    let mut flows = Relation::new();
+    for alpha in sys.universe().objects() {
+        // Tracking α through single pieces is sound when every φ-pair
+        // differing only at α starts inside a *common* piece; we start
+        // the product BFS at those common pieces. If some `=α=`-class
+        // straddles pieces with no common one, fall back to the baseline
+        // row for this source (conservative, still sound).
+        let alpha_set = ObjSet::singleton(alpha);
+        let classes = sd_core::depend::classes(sys, phi, &alpha_set)?;
+        let mut start_mask = 0u64;
+        let mut straddles = false;
+        for class in &classes {
+            if class.len() < 2 {
+                continue;
+            }
+            let mut common = u64::MAX;
+            for s in class {
+                common &= membership(s.encode(sys.universe()));
+            }
+            if common == 0 {
+                straddles = true;
+                break;
+            }
+            start_mask |= common;
+        }
+        if straddles {
+            for &(x, y) in baseline.iter() {
+                if x == alpha {
+                    flows.insert((x, y));
+                }
+            }
+            continue;
+        }
+        let mut seen = vec![false; n_piece * n_obj];
+        let mut queue: Vec<(usize, ObjId)> = Vec::new();
+        for i in 0..n_piece {
+            if start_mask & (1 << i) != 0 {
+                let idx = i * n_obj + alpha.index();
+                if !seen[idx] {
+                    seen[idx] = true;
+                    queue.push((i, alpha));
+                }
+            }
+        }
+        let mut reached: BTreeSet<ObjId> = BTreeSet::new();
+        reached.insert(alpha);
+        while let Some((i, x)) = queue.pop() {
+            reached.insert(x);
+            for op in sys.op_ids() {
+                for &(rx, ry) in rel[i][op.index()].iter() {
+                    if rx != x {
+                        continue;
+                    }
+                    for &j in &step[i][op.index()] {
+                        let idx = j * n_obj + ry.index();
+                        if !seen[idx] {
+                            seen[idx] = true;
+                            queue.push((j, ry));
+                        }
+                    }
+                }
+            }
+        }
+        for beta in reached {
+            flows.insert((alpha, beta));
+        }
+    }
+    Ok(flows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sd_core::examples;
+    use sd_core::Expr;
+
+    #[test]
+    fn per_piece_relations_shrink() {
+        // Under φ: ¬m, the guarded copy's relation drops α → β.
+        let sys = examples::guarded_copy_system(2).unwrap();
+        let u = sys.universe();
+        let a = u.obj("alpha").unwrap();
+        let b = u.obj("beta").unwrap();
+        let m = u.obj("m").unwrap();
+        let free = op_flow_relation_under(&sys, &Phi::True, OpId(0)).unwrap();
+        assert!(free.contains(&(a, b)));
+        let constrained =
+            op_flow_relation_under(&sys, &Phi::expr(Expr::var(m).not()), OpId(0)).unwrap();
+        assert!(!constrained.contains(&(a, b)));
+        assert!(constrained.is_subset(&free));
+    }
+
+    #[test]
+    fn cover_resolves_sec_4_4() {
+        // With the {q, ¬q} cover, the Millen-style analysis sees that δ1
+        // only moves α → m in q-pieces, δ2 only moves m → β in ¬q-pieces,
+        // and q never changes — so no piece path composes them. The plain
+        // baseline cannot see this.
+        let sys = examples::nontransitive_system(2).unwrap();
+        let u = sys.universe();
+        let a = u.obj("alpha").unwrap();
+        let b = u.obj("beta").unwrap();
+        let q = u.obj("q").unwrap();
+        let cover = vec![Phi::expr(Expr::var(q)), Phi::expr(Expr::var(q).not())];
+        let refined = cover_sensitive_flows(&sys, &Phi::True, &cover).unwrap();
+        assert!(!refined.contains(&(a, b)), "cover separates the variety");
+        let baseline = crate::flowrel::transitive_flows(&sys).unwrap();
+        assert!(baseline.contains(&(a, b)));
+        // Soundness spot checks: real flows survive the refinement.
+        let m = u.obj("m").unwrap();
+        assert!(refined.contains(&(a, m)));
+        assert!(refined.contains(&(m, b)));
+    }
+
+    #[test]
+    fn trivial_cover_recovers_baseline() {
+        // With the trivial cover {tt}, the analysis degenerates to the
+        // plain transitive baseline.
+        for sys in [
+            examples::guarded_copy_system(2).unwrap(),
+            examples::nontransitive_system(2).unwrap(),
+            examples::m1m2_system(2).unwrap(),
+        ] {
+            let refined = cover_sensitive_flows(&sys, &Phi::True, &[Phi::True]).unwrap();
+            let baseline = crate::flowrel::transitive_flows(&sys).unwrap();
+            assert_eq!(refined, baseline);
+        }
+    }
+
+    #[test]
+    fn refinement_is_sound_and_between() {
+        // semantic ⊆ cover-sensitive ⊆ baseline, on the oscillator with
+        // its natural cover.
+        let sys = examples::oscillator_system(5).unwrap();
+        let u = sys.universe();
+        let a = u.obj("alpha").unwrap();
+        let phi = Phi::expr(Expr::var(a).eq(Expr::int(5)));
+        let cover = vec![
+            Phi::expr(Expr::var(a).eq(Expr::int(5))),
+            Phi::expr(Expr::var(a).eq(Expr::int(-5))),
+        ];
+        let refined = cover_sensitive_flows(&sys, &phi, &cover).unwrap();
+        let semantic = crate::flowrel::semantic_flows(&sys, &phi).unwrap();
+        let baseline = crate::flowrel::transitive_flows(&sys).unwrap();
+        for pair in &semantic {
+            assert!(refined.contains(pair), "refinement missed {pair:?}");
+        }
+        for pair in &refined {
+            assert!(baseline.contains(pair), "refinement invented {pair:?}");
+        }
+        // And it is a strict refinement here: the pinned α transmits
+        // nothing to β under the cover, while the baseline says it does.
+        let b = u.obj("beta").unwrap();
+        assert!(!refined.contains(&(a, b)));
+        assert!(baseline.contains(&(a, b)));
+    }
+
+    #[test]
+    fn rejects_non_covering_family() {
+        let sys = examples::nontransitive_system(2).unwrap();
+        let q = sys.universe().obj("q").unwrap();
+        let only_q = vec![Phi::expr(Expr::var(q))];
+        assert!(cover_sensitive_flows(&sys, &Phi::True, &only_q).is_err());
+    }
+
+    #[test]
+    fn non_autonomous_pieces_are_the_limit() {
+        // §5.5's system with φ: m1 = m2 — a non-autonomous invariant
+        // constraint. The per-object composition misses the real
+        // α → β flow (neither m1 nor m2 alone carries it under φ;
+        // only the set {m1, m2} does, Thm 5-4), so:
+        let sys = examples::m1m2_system(2).unwrap();
+        let u = sys.universe();
+        let a = u.obj("alpha").unwrap();
+        let b = u.obj("beta").unwrap();
+        let m1 = u.obj("m1").unwrap();
+        let m2 = u.obj("m2").unwrap();
+        let phi = Phi::expr(Expr::var(m1).eq(Expr::var(m2)));
+        // The real flow exists…
+        let semantic = crate::flowrel::semantic_flows(&sys, &phi).unwrap();
+        assert!(semantic.contains(&(a, b)));
+        // …the unchecked analysis misses it (unsound!)…
+        let unchecked = cover_sensitive_flows_unchecked(&sys, &phi, &[phi.clone()]).unwrap();
+        assert!(
+            !unchecked.contains(&(a, b)),
+            "this is exactly the unsoundness the guard prevents"
+        );
+        // …and the checked entry point refuses the non-autonomous piece.
+        let err = cover_sensitive_flows(&sys, &phi, &[phi.clone()]).unwrap_err();
+        assert!(err.to_string().contains("not autonomous"));
+    }
+}

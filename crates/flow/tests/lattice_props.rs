@@ -1,0 +1,186 @@
+//! Property tests for the lattice constructions and metamorphic tests for
+//! Denning certification.
+
+use proptest::prelude::*;
+use sd_flow::{certify, static_flows, Classification, FiniteLattice, Label};
+use sd_lang::parse;
+
+fn lattices() -> Vec<FiniteLattice> {
+    vec![
+        FiniteLattice::two_point(),
+        FiniteLattice::chain(&["0", "1", "2", "3", "4"]).unwrap(),
+        FiniteLattice::powerset(&["a", "b", "c"]).unwrap(),
+        FiniteLattice::product(
+            &FiniteLattice::two_point(),
+            &FiniteLattice::powerset(&["x", "y"]).unwrap(),
+        )
+        .unwrap(),
+    ]
+}
+
+#[test]
+fn join_is_least_upper_bound_everywhere() {
+    for l in lattices() {
+        for a in l.labels() {
+            for b in l.labels() {
+                let j = l.join(a, b);
+                assert!(l.leq(a, j) && l.leq(b, j));
+                for c in l.labels() {
+                    if l.leq(a, c) && l.leq(b, c) {
+                        assert!(l.leq(j, c), "{l}: join not least");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn meet_is_greatest_lower_bound_everywhere() {
+    for l in lattices() {
+        for a in l.labels() {
+            for b in l.labels() {
+                let m = l.meet(a, b);
+                assert!(l.leq(m, a) && l.leq(m, b));
+                for c in l.labels() {
+                    if l.leq(c, a) && l.leq(c, b) {
+                        assert!(l.leq(c, m), "{l}: meet not greatest");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn join_meet_are_associative() {
+    for l in lattices() {
+        for a in l.labels() {
+            for b in l.labels() {
+                for c in l.labels() {
+                    assert_eq!(l.join(l.join(a, b), c), l.join(a, l.join(b, c)));
+                    assert_eq!(l.meet(l.meet(a, b), c), l.meet(a, l.meet(b, c)));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bottom_and_top_are_extremes() {
+    for l in lattices() {
+        let bot = l.bottom();
+        let top = l.top();
+        for a in l.labels() {
+            assert!(l.leq(bot, a));
+            assert!(l.leq(a, top));
+        }
+    }
+}
+
+/// Metamorphic: raising a *target* label can only remove violations;
+/// raising a *source* label can only add them.
+#[test]
+fn certification_is_monotone_in_labels() {
+    let src = "\
+var s: int 0..3;
+var t: int 0..3;
+var u: int 0..3;
+t := s;
+if t > 0 { u := 1; }
+";
+    let p = parse(src).unwrap();
+    let l = FiniteLattice::chain(&["0", "1", "2"]).unwrap();
+    let lab = |i: usize| Label(i);
+    for s_lvl in 0..3 {
+        for t_lvl in 0..3 {
+            for u_lvl in 0..3 {
+                let count = |s, t, u| {
+                    let cls = Classification::new()
+                        .with("s", lab(s))
+                        .with("t", lab(t))
+                        .with("u", lab(u));
+                    certify(&p, &l, &cls).unwrap().violations.len()
+                };
+                let base = count(s_lvl, t_lvl, u_lvl);
+                if u_lvl < 2 {
+                    assert!(
+                        count(s_lvl, t_lvl, u_lvl + 1) <= base,
+                        "raising a sink added violations"
+                    );
+                }
+                if s_lvl < 2 {
+                    assert!(
+                        count(s_lvl + 1, t_lvl, u_lvl) >= base,
+                        "raising a source removed violations"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    /// static_flows is reflexive and transitively closed, and contains
+    /// every assignment edge syntactically present.
+    #[test]
+    fn static_flows_closure_properties(seed in 0u64..30) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Random straight-line copy program over 4 vars.
+        let n = 4;
+        let mut body = String::new();
+        let mut decls = String::new();
+        for i in 0..n {
+            decls.push_str(&format!("var v{i}: int 0..1;\n"));
+        }
+        let mut edges = Vec::new();
+        for _ in 0..5 {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            body.push_str(&format!("v{b} := v{a};\n"));
+            edges.push((format!("v{a}"), format!("v{b}")));
+        }
+        let p = parse(&format!("{decls}{body}")).unwrap();
+        let flows = static_flows(&p).unwrap();
+        // Reflexive.
+        for i in 0..n {
+            let v = format!("v{i}");
+            let pair = (v.clone(), v);
+            prop_assert!(flows.contains(&pair), "missing reflexive {:?}", pair);
+        }
+        // Contains direct edges.
+        for e in &edges {
+            prop_assert!(flows.contains(e), "missing edge {e:?}");
+        }
+        // Transitively closed.
+        for (a, b) in &flows {
+            for (c, d) in &flows {
+                if b == c {
+                    prop_assert!(
+                        flows.contains(&(a.clone(), d.clone())),
+                        "not closed: {a} → {b} → {d}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Certification with every variable at one level always succeeds.
+#[test]
+fn single_level_always_certifies() {
+    let src = "\
+var a: int 0..3;
+var b: int 0..3;
+b := a;
+while b > 0 { a := a - 1; b := b - 1; }
+";
+    let p = parse(src).unwrap();
+    for l in lattices() {
+        for lvl in l.labels() {
+            let cls = Classification::new().with("a", lvl).with("b", lvl);
+            assert!(certify(&p, &l, &cls).unwrap().ok());
+        }
+    }
+}

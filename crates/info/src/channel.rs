@@ -1,0 +1,241 @@
+//! Noisy channels and capacity (§1.8).
+//!
+//! The paper's cybernetic framing notes that one may not be able to close
+//! a covert channel completely — "one might simply be satisfied to
+//! introduce enough noise to guarantee that the bandwidth … is
+//! sufficiently low". This module makes that quantitative: discrete
+//! memoryless channels, their mutual information, and capacity via the
+//! Blahut–Arimoto algorithm.
+
+use sd_core::{Error, Result};
+
+/// A discrete memoryless channel: `p[x][y]` is `P(Y = y | X = x)`.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    p: Vec<Vec<f64>>,
+}
+
+impl Channel {
+    /// Builds a channel from transition rows (each row must be a
+    /// probability distribution).
+    pub fn from_rows(p: Vec<Vec<f64>>) -> Result<Channel> {
+        if p.is_empty() || p[0].is_empty() {
+            return Err(Error::Invalid(
+                "channel must have inputs and outputs".into(),
+            ));
+        }
+        let m = p[0].len();
+        for row in &p {
+            if row.len() != m {
+                return Err(Error::Invalid("ragged channel matrix".into()));
+            }
+            if row.iter().any(|&x| x < 0.0 || !x.is_finite()) {
+                return Err(Error::Invalid("probabilities must be in [0, 1]".into()));
+            }
+            let total: f64 = row.iter().sum();
+            if (total - 1.0).abs() > 1e-9 {
+                return Err(Error::Invalid(format!(
+                    "channel row sums to {total}, expected 1"
+                )));
+            }
+        }
+        Ok(Channel { p })
+    }
+
+    /// The binary symmetric channel with crossover probability `eps`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let ch = sd_info::Channel::bsc(0.11)?;
+    /// let (cap, _iters, _px) = ch.capacity(1e-9, 10_000)?;
+    /// let closed_form = 1.0 - sd_info::binary_entropy(0.11);
+    /// assert!((cap - closed_form).abs() < 1e-6);
+    /// # Ok::<(), sd_core::Error>(())
+    /// ```
+    pub fn bsc(eps: f64) -> Result<Channel> {
+        Channel::from_rows(vec![vec![1.0 - eps, eps], vec![eps, 1.0 - eps]])
+    }
+
+    /// The m-ary symmetric channel: correct with probability `1 − eps`,
+    /// otherwise uniform over the other symbols.
+    pub fn symmetric(m: usize, eps: f64) -> Result<Channel> {
+        if m < 2 {
+            return Err(Error::Invalid("need at least two symbols".into()));
+        }
+        let off = eps / (m as f64 - 1.0);
+        let rows = (0..m)
+            .map(|x| {
+                (0..m)
+                    .map(|y| if x == y { 1.0 - eps } else { off })
+                    .collect()
+            })
+            .collect();
+        Channel::from_rows(rows)
+    }
+
+    /// Number of input symbols.
+    pub fn inputs(&self) -> usize {
+        self.p.len()
+    }
+
+    /// Number of output symbols.
+    pub fn outputs(&self) -> usize {
+        self.p[0].len()
+    }
+
+    /// Mutual information `I(X; Y)` in bits for a given input
+    /// distribution.
+    pub fn mutual_information(&self, px: &[f64]) -> Result<f64> {
+        if px.len() != self.inputs() {
+            return Err(Error::Invalid("input distribution size mismatch".into()));
+        }
+        let m = self.outputs();
+        let mut py = vec![0.0f64; m];
+        for (x, &pxv) in px.iter().enumerate() {
+            for y in 0..m {
+                py[y] += pxv * self.p[x][y];
+            }
+        }
+        let mut i = 0.0;
+        for (x, &pxv) in px.iter().enumerate() {
+            if pxv <= 0.0 {
+                continue;
+            }
+            for y in 0..m {
+                let pxy = pxv * self.p[x][y];
+                if pxy > 0.0 {
+                    i += pxy * (self.p[x][y] / py[y]).log2();
+                }
+            }
+        }
+        Ok(i.max(0.0))
+    }
+
+    /// Channel capacity in bits via Blahut–Arimoto: maximizes mutual
+    /// information over input distributions. Returns `(capacity,
+    /// iterations, maximizing input distribution)`.
+    pub fn capacity(&self, tol: f64, max_iters: usize) -> Result<(f64, usize, Vec<f64>)> {
+        let n = self.inputs();
+        let m = self.outputs();
+        let mut px = vec![1.0 / n as f64; n];
+        let mut iters = 0;
+        loop {
+            iters += 1;
+            // q(y) = Σx px(x) p(y|x).
+            let mut py = vec![0.0f64; m];
+            for (x, &pxv) in px.iter().enumerate() {
+                for y in 0..m {
+                    py[y] += pxv * self.p[x][y];
+                }
+            }
+            // c(x) = exp(Σy p(y|x) ln(p(y|x)/q(y))).
+            let mut c = vec![0.0f64; n];
+            for x in 0..n {
+                let mut acc = 0.0;
+                for y in 0..m {
+                    let pyx = self.p[x][y];
+                    if pyx > 0.0 && py[y] > 0.0 {
+                        acc += pyx * (pyx / py[y]).ln();
+                    }
+                }
+                c[x] = acc.exp();
+            }
+            let z: f64 = px.iter().zip(&c).map(|(p, c)| p * c).sum();
+            // Bounds: ln(z) ≤ C·ln2 ≤ ln(max c).
+            let lower = z.ln() / std::f64::consts::LN_2;
+            let upper = c.iter().fold(f64::MIN, |a, &b| a.max(b)).ln() / std::f64::consts::LN_2;
+            if upper - lower < tol || iters >= max_iters {
+                // One more normalization for the reported distribution.
+                for (p, cv) in px.iter_mut().zip(&c) {
+                    *p *= cv / z;
+                }
+                return Ok((lower.max(0.0), iters, px));
+            }
+            for (p, cv) in px.iter_mut().zip(&c) {
+                *p *= cv / z;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entropy::binary_entropy;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn bsc_capacity_closed_form() {
+        for eps in [0.0, 0.05, 0.11, 0.25, 0.5] {
+            let ch = Channel::bsc(eps).unwrap();
+            let (cap, _, px) = ch.capacity(1e-9, 10_000).unwrap();
+            let expected = 1.0 - binary_entropy(eps);
+            assert!(
+                close(cap, expected, 1e-6),
+                "eps={eps}: got {cap}, want {expected}"
+            );
+            // Maximizing input is uniform by symmetry.
+            if eps < 0.5 {
+                assert!(close(px[0], 0.5, 1e-4));
+            }
+        }
+    }
+
+    #[test]
+    fn noise_monotonically_kills_bandwidth() {
+        // The §1.8 claim: adding noise lowers the covert channel's
+        // bandwidth, to zero at full noise.
+        let mut last = f64::INFINITY;
+        for eps in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
+            let (cap, _, _) = Channel::bsc(eps).unwrap().capacity(1e-9, 10_000).unwrap();
+            assert!(cap <= last + 1e-9);
+            last = cap;
+        }
+        assert!(close(last, 0.0, 1e-6));
+    }
+
+    #[test]
+    fn mary_symmetric_capacity() {
+        // C = log2(m) − H(eps) − eps·log2(m − 1).
+        let m = 4;
+        let eps = 0.1;
+        let ch = Channel::symmetric(m, eps).unwrap();
+        let (cap, _, _) = ch.capacity(1e-9, 10_000).unwrap();
+        let expected = (m as f64).log2() - binary_entropy(eps) - eps * ((m - 1) as f64).log2();
+        assert!(close(cap, expected, 1e-6));
+    }
+
+    #[test]
+    fn noiseless_channel_capacity_is_log_m() {
+        let ch = Channel::symmetric(8, 0.0).unwrap();
+        let (cap, _, _) = ch.capacity(1e-9, 10_000).unwrap();
+        assert!(close(cap, 3.0, 1e-6));
+    }
+
+    #[test]
+    fn mutual_information_bounded_by_capacity() {
+        let ch = Channel::bsc(0.2).unwrap();
+        let (cap, _, _) = ch.capacity(1e-9, 10_000).unwrap();
+        for px in [vec![0.5, 0.5], vec![0.9, 0.1], vec![1.0, 0.0]] {
+            let mi = ch.mutual_information(&px).unwrap();
+            assert!(mi <= cap + 1e-6);
+        }
+    }
+
+    #[test]
+    fn invalid_channels_rejected() {
+        assert!(Channel::from_rows(vec![]).is_err());
+        assert!(Channel::from_rows(vec![vec![0.5, 0.4]]).is_err());
+        assert!(Channel::from_rows(vec![vec![1.0], vec![0.5, 0.5]]).is_err());
+        assert!(Channel::from_rows(vec![vec![-0.1, 1.1]]).is_err());
+        assert!(Channel::symmetric(1, 0.1).is_err());
+        assert!(Channel::bsc(0.3)
+            .unwrap()
+            .mutual_information(&[1.0])
+            .is_err());
+    }
+}

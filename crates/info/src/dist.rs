@@ -1,0 +1,194 @@
+//! Probability distributions over system states (§7.4).
+//!
+//! §7.4 observes that "pr is a generalization of an initial constraint φ":
+//! a distribution over initial states both constrains (support) and weighs
+//! the variety available for transmission. [`Dist`] is a sparse
+//! distribution over encoded states with pushforward along operations and
+//! histories (`[H]pr`).
+
+use std::collections::HashMap;
+
+use sd_core::{History, ObjSet, Phi, Result, State, System};
+
+/// A probability distribution over states of a fixed system, keyed by
+/// encoded state index.
+#[derive(Debug, Clone)]
+pub struct Dist {
+    probs: HashMap<u64, f64>,
+}
+
+impl Dist {
+    /// The uniform distribution over Sat(φ) — the implicit assumption of
+    /// §7.4's examples ("each state satisfying φ occurs with equal
+    /// probability").
+    pub fn uniform(sys: &System, phi: &Phi) -> Result<Dist> {
+        let sat = phi.sat(sys)?;
+        let n = sat.count();
+        if n == 0 {
+            return Err(sd_core::Error::Invalid(
+                "cannot build a distribution over an empty support".into(),
+            ));
+        }
+        let p = 1.0 / n as f64;
+        Ok(Dist {
+            probs: sat.iter().map(|code| (code, p)).collect(),
+        })
+    }
+
+    /// A distribution from explicit weights (normalized).
+    pub fn from_weights(weights: impl IntoIterator<Item = (u64, f64)>) -> Result<Dist> {
+        let mut probs: HashMap<u64, f64> = HashMap::new();
+        for (code, w) in weights {
+            if w < 0.0 || !w.is_finite() {
+                return Err(sd_core::Error::Invalid(
+                    "weights must be finite and non-negative".into(),
+                ));
+            }
+            if w > 0.0 {
+                *probs.entry(code).or_insert(0.0) += w;
+            }
+        }
+        let total: f64 = probs.values().sum();
+        if total <= 0.0 {
+            return Err(sd_core::Error::Invalid(
+                "weights must sum to a positive value".into(),
+            ));
+        }
+        for p in probs.values_mut() {
+            *p /= total;
+        }
+        Ok(Dist { probs })
+    }
+
+    /// Iterates `(state code, probability)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.probs.iter().map(|(&c, &p)| (c, p))
+    }
+
+    /// The probability of one state.
+    pub fn prob(&self, code: u64) -> f64 {
+        self.probs.get(&code).copied().unwrap_or(0.0)
+    }
+
+    /// Support size.
+    pub fn support_len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Total mass (should always be ≈ 1; exposed for test assertions).
+    pub fn total(&self) -> f64 {
+        self.probs.values().sum()
+    }
+
+    /// The pushforward `[H]pr` (§7.4): the distribution of `H(σ)` when σ
+    /// is drawn from this distribution.
+    pub fn after(&self, sys: &System, h: &History) -> Result<Dist> {
+        let u = sys.universe();
+        let mut probs: HashMap<u64, f64> = HashMap::new();
+        for (&code, &p) in &self.probs {
+            let sigma = State::decode(u, code);
+            let end = sys.run(&sigma, h)?;
+            *probs.entry(end.encode(u)).or_insert(0.0) += p;
+        }
+        Ok(Dist { probs })
+    }
+
+    /// The marginal distribution of a projection onto `objs`.
+    pub fn marginal(&self, sys: &System, objs: &ObjSet) -> HashMap<Vec<u32>, f64> {
+        let u = sys.universe();
+        let mut out: HashMap<Vec<u32>, f64> = HashMap::new();
+        for (&code, &p) in &self.probs {
+            let sigma = State::decode(u, code);
+            *out.entry(sigma.project(objs)).or_insert(0.0) += p;
+        }
+        out
+    }
+
+    /// The joint distribution of (initial projection onto `a`, final
+    /// projection onto `b` after `h`) — the channel from `σ0.A` to
+    /// `H(σ).B`.
+    pub fn joint_initial_final(
+        &self,
+        sys: &System,
+        a: &ObjSet,
+        b: &ObjSet,
+        h: &History,
+    ) -> Result<HashMap<(Vec<u32>, Vec<u32>), f64>> {
+        let u = sys.universe();
+        let mut out: HashMap<(Vec<u32>, Vec<u32>), f64> = HashMap::new();
+        for (&code, &p) in &self.probs {
+            let sigma = State::decode(u, code);
+            let end = sys.run(&sigma, h)?;
+            *out.entry((sigma.project(a), end.project(b))).or_insert(0.0) += p;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sd_core::examples;
+    use sd_core::{Expr, OpId};
+
+    #[test]
+    fn uniform_over_constraint() {
+        let sys = examples::copy_system(4).unwrap();
+        let a = sys.universe().obj("alpha").unwrap();
+        let phi = Phi::expr(Expr::var(a).lt(Expr::int(2)));
+        let d = Dist::uniform(&sys, &phi).unwrap();
+        assert_eq!(d.support_len(), 2 * 4);
+        assert!((d.total() - 1.0).abs() < 1e-12);
+        assert!(Dist::uniform(&sys, &Phi::False).is_err());
+    }
+
+    #[test]
+    fn pushforward_concentrates() {
+        // After β ← α, the states collapse onto the diagonal β = α.
+        let sys = examples::copy_system(4).unwrap();
+        let d = Dist::uniform(&sys, &Phi::True).unwrap();
+        let after = d.after(&sys, &History::single(OpId(0))).unwrap();
+        assert_eq!(after.support_len(), 4);
+        assert!((after.total() - 1.0).abs() < 1e-12);
+        for (_, p) in after.iter() {
+            assert!((p - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn marginals_sum_to_one() {
+        let sys = examples::mod_adder_system(2).unwrap();
+        let d = Dist::uniform(&sys, &Phi::True).unwrap();
+        let a1 = ObjSet::singleton(sys.universe().obj("a1").unwrap());
+        let m = d.marginal(&sys, &a1);
+        assert_eq!(m.len(), 4);
+        let total: f64 = m.values().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_validated() {
+        assert!(Dist::from_weights([(0u64, -1.0)]).is_err());
+        assert!(Dist::from_weights([(0u64, 0.0)]).is_err());
+        assert!(Dist::from_weights([(0u64, f64::NAN)]).is_err());
+        let d = Dist::from_weights([(0u64, 1.0), (1, 3.0)]).unwrap();
+        assert!((d.prob(1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joint_matches_function() {
+        let sys = examples::copy_system(2).unwrap();
+        let u = sys.universe();
+        let a = ObjSet::singleton(u.obj("alpha").unwrap());
+        let b = ObjSet::singleton(u.obj("beta").unwrap());
+        let d = Dist::uniform(&sys, &Phi::True).unwrap();
+        let j = d
+            .joint_initial_final(&sys, &a, &b, &History::single(OpId(0)))
+            .unwrap();
+        // β' always equals initial α: only diagonal entries.
+        for ((av, bv), p) in j {
+            assert_eq!(av, bv);
+            assert!((p - 0.5).abs() < 1e-12);
+        }
+    }
+}

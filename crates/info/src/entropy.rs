@@ -1,0 +1,140 @@
+//! Shannon entropy primitives.
+//!
+//! §7.4 grounds the quantitative measures in "Shannon's information
+//! entropy [Shannon & Weaver 49]". All quantities are in bits.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Shannon entropy of a probability mass function, in bits. Zero-mass
+/// entries contribute nothing.
+pub fn entropy<'a>(probs: impl IntoIterator<Item = &'a f64>) -> f64 {
+    probs
+        .into_iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -p * p.log2())
+        .sum()
+}
+
+/// Entropy of a keyed mass function.
+pub fn entropy_map<K>(m: &HashMap<K, f64>) -> f64
+where
+    K: Eq + Hash,
+{
+    entropy(m.values())
+}
+
+/// Mutual information `I(X; Y)` of a joint mass function, in bits:
+/// `H(X) + H(Y) − H(X, Y)`.
+pub fn mutual_information<X, Y>(joint: &HashMap<(X, Y), f64>) -> f64
+where
+    X: Eq + Hash + Clone,
+    Y: Eq + Hash + Clone,
+{
+    let mut mx: HashMap<X, f64> = HashMap::new();
+    let mut my: HashMap<Y, f64> = HashMap::new();
+    for ((x, y), &p) in joint {
+        *mx.entry(x.clone()).or_insert(0.0) += p;
+        *my.entry(y.clone()).or_insert(0.0) += p;
+    }
+    let hx = entropy_map(&mx);
+    let hy = entropy_map(&my);
+    let hxy = entropy(joint.values());
+    (hx + hy - hxy).max(0.0)
+}
+
+/// Conditional entropy `H(Y | X)` of a joint mass function, in bits —
+/// the *equivocation* of §7.4.
+pub fn conditional_entropy<X, Y>(joint: &HashMap<(X, Y), f64>) -> f64
+where
+    X: Eq + Hash + Clone,
+    Y: Eq + Hash + Clone,
+{
+    let mut mx: HashMap<X, f64> = HashMap::new();
+    for ((x, _), &p) in joint {
+        *mx.entry(x.clone()).or_insert(0.0) += p;
+    }
+    let hx = entropy_map(&mx);
+    let hxy = entropy(joint.values());
+    (hxy - hx).max(0.0)
+}
+
+/// Binary entropy function `H2(p)` in bits.
+pub fn binary_entropy(p: f64) -> f64 {
+    if p <= 0.0 || p >= 1.0 {
+        0.0
+    } else {
+        -p * p.log2() - (1.0 - p) * (1.0 - p).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn uniform_entropy_is_log() {
+        let m: HashMap<u32, f64> = (0..8).map(|i| (i, 0.125)).collect();
+        assert!(close(entropy_map(&m), 3.0));
+    }
+
+    #[test]
+    fn deterministic_entropy_is_zero() {
+        let m: HashMap<u32, f64> = [(7u32, 1.0)].into_iter().collect();
+        assert!(close(entropy_map(&m), 0.0));
+        assert!(close(entropy([0.0f64, 1.0].iter()), 0.0));
+    }
+
+    #[test]
+    fn mi_of_identity_channel() {
+        // Y = X uniform over 4 values: I = 2 bits.
+        let joint: HashMap<(u32, u32), f64> = (0..4u32).map(|x| ((x, x), 0.25)).collect();
+        assert!(close(mutual_information(&joint), 2.0));
+        assert!(close(conditional_entropy(&joint), 0.0));
+    }
+
+    #[test]
+    fn mi_of_independent_variables() {
+        let mut joint = HashMap::new();
+        for x in 0..2u32 {
+            for y in 0..2u32 {
+                joint.insert((x, y), 0.25);
+            }
+        }
+        assert!(close(mutual_information(&joint), 0.0));
+        assert!(close(conditional_entropy(&joint), 1.0));
+    }
+
+    #[test]
+    fn binary_entropy_props() {
+        assert!(close(binary_entropy(0.5), 1.0));
+        assert!(close(binary_entropy(0.0), 0.0));
+        assert!(close(binary_entropy(1.0), 0.0));
+        assert!(binary_entropy(0.11) < 1.0);
+        assert!(close(binary_entropy(0.25), binary_entropy(0.75)));
+    }
+
+    #[test]
+    fn chain_rule() {
+        // H(X, Y) = H(X) + H(Y | X) on an arbitrary joint.
+        let joint: HashMap<(u32, u32), f64> = [
+            ((0, 0), 0.5),
+            ((0, 1), 0.25),
+            ((1, 0), 0.125),
+            ((1, 1), 0.125),
+        ]
+        .into_iter()
+        .collect();
+        let mut mx: HashMap<u32, f64> = HashMap::new();
+        for ((x, _), p) in &joint {
+            *mx.entry(*x).or_insert(0.0) += p;
+        }
+        let lhs = entropy(joint.values());
+        let rhs = entropy_map(&mx) + conditional_entropy(&joint);
+        assert!(close(lhs, rhs));
+    }
+}

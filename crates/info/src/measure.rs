@@ -1,0 +1,296 @@
+//! Quantitative measures of information transmission (§7.4).
+//!
+//! `b(A -(pr:: H)-> β)`: how many bits does executing H transmit from the
+//! initial values of A to the final value of β? §7.4 identifies *two*
+//! defensible measures that differ on "contingent" transmission (the
+//! mod-128 adder):
+//!
+//! - the **equivocation measure** — `I(σ0.A ; H(σ).β)` = initial entropy
+//!   minus equivocation. For `β ← (α1 + α2) mod 128`, α1 alone transmits
+//!   **0** bits: no observation of β says anything about α1.
+//! - the **held-constant average** — average, over ways of holding every
+//!   other object constant, of the variety α conveys to β. For the same
+//!   adder, α1 transmits **7** bits: fix α2 and all of α1's variety
+//!   arrives.
+//!
+//! Strong dependency corresponds to the second: `A ▷ β` iff some
+//! held-constant context conveys variety.
+
+use sd_core::{History, ObjId, ObjSet, Result, State, System};
+
+use crate::dist::Dist;
+use crate::entropy::{entropy_map, mutual_information};
+
+/// The equivocation measure: `b(A -(pr::H)-> β) = I(σ0.A ; H(σ).β)` bits.
+pub fn bits_equivocation(
+    sys: &System,
+    dist: &Dist,
+    a: &ObjSet,
+    beta: ObjId,
+    h: &History,
+) -> Result<f64> {
+    let joint = dist.joint_initial_final(sys, a, &ObjSet::singleton(beta), h)?;
+    Ok(mutual_information(&joint))
+}
+
+/// The held-constant average measure for a single source object: average
+/// over assignments `c` to the other objects (weighted by probability) of
+/// `I(σ0.α ; H(σ).β | others = c)`.
+pub fn bits_held_constant(
+    sys: &System,
+    dist: &Dist,
+    alpha: ObjId,
+    beta: ObjId,
+    h: &History,
+) -> Result<f64> {
+    let u = sys.universe();
+    let others: ObjSet = u.objects().filter(|&o| o != alpha).collect();
+    // Group mass by the complement assignment; within each group, build
+    // the joint (α0, β') distribution.
+    use std::collections::HashMap;
+    let mut groups: HashMap<Vec<u32>, (f64, HashMap<(u32, u32), f64>)> = HashMap::new();
+    for (code, p) in dist.iter() {
+        let sigma = State::decode(u, code);
+        let end = sys.run(&sigma, h)?;
+        let key = sigma.project(&others);
+        let entry = groups.entry(key).or_insert_with(|| (0.0, HashMap::new()));
+        entry.0 += p;
+        *entry
+            .1
+            .entry((sigma.index(alpha), end.index(beta)))
+            .or_insert(0.0) += p;
+    }
+    let mut acc = 0.0;
+    for (mass, joint) in groups.values() {
+        if *mass <= 0.0 {
+            continue;
+        }
+        // Normalize the group's joint to a conditional distribution.
+        let cond: HashMap<(u32, u32), f64> = joint.iter().map(|(&k, &p)| (k, p / mass)).collect();
+        acc += mass * mutual_information(&cond);
+    }
+    Ok(acc)
+}
+
+/// The initial entropy of a source set under `dist`, in bits.
+pub fn source_entropy(sys: &System, dist: &Dist, a: &ObjSet) -> f64 {
+    entropy_map(&dist.marginal(sys, a))
+}
+
+/// Relative interference (§7.4): `b(A1) + b(A2) − b(A1 ∪ A2)` under the
+/// equivocation measure. Zero when the additive property holds; §7.4
+/// predicts it usually does not.
+pub fn interference(
+    sys: &System,
+    dist: &Dist,
+    a1: &ObjSet,
+    a2: &ObjSet,
+    beta: ObjId,
+    h: &History,
+) -> Result<f64> {
+    let b1 = bits_equivocation(sys, dist, a1, beta, h)?;
+    let b2 = bits_equivocation(sys, dist, a2, beta, h)?;
+    let both = bits_equivocation(sys, dist, &a1.union(a2), beta, h)?;
+    Ok(b1 + b2 - both)
+}
+
+/// The maximum information transmissible from A to β over any history of
+/// length ≤ `max_len` (equivocation measure) — a bounded "capacity" of
+/// the system as a channel from A's initial value to β.
+///
+/// Returns `(bits, best history)`.
+pub fn max_bits(
+    sys: &System,
+    dist: &Dist,
+    a: &ObjSet,
+    beta: ObjId,
+    max_len: usize,
+) -> Result<(f64, History)> {
+    let mut best = (0.0f64, History::empty());
+    for h in sd_core::history::histories_up_to(sys.num_ops(), max_len) {
+        let bits = bits_equivocation(sys, dist, a, beta, &h)?;
+        if bits > best.0 {
+            best = (bits, h);
+        }
+    }
+    Ok(best)
+}
+
+/// Data-processing check for the §7.4 induction sketch: information about
+/// A reaching β through `h1 · h2` is bounded by the information about A
+/// available in the *whole* intermediate state after `h1`. Returns
+/// `(through, intermediate)`; the first must never exceed the second.
+pub fn data_processing_bound(
+    sys: &System,
+    dist: &Dist,
+    a: &ObjSet,
+    beta: ObjId,
+    h1: &History,
+    h2: &History,
+) -> Result<(f64, f64)> {
+    let through = bits_equivocation(sys, dist, a, beta, &h1.concat(h2))?;
+    let all = sys.universe().all_objects();
+    let joint = dist.joint_initial_final(sys, a, &all, h1)?;
+    let intermediate = mutual_information(&joint);
+    Ok((through, intermediate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sd_core::examples;
+    use sd_core::{OpId, Phi};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn copy_transmits_all_bits() {
+        // §2.2: β ← α over k values transmits log2(k) bits.
+        let sys = examples::copy_system(16).unwrap();
+        let u = sys.universe();
+        let a = ObjSet::singleton(u.obj("alpha").unwrap());
+        let b = u.obj("beta").unwrap();
+        let d = Dist::uniform(&sys, &Phi::True).unwrap();
+        let h = History::single(OpId(0));
+        assert!(close(bits_equivocation(&sys, &d, &a, b, &h).unwrap(), 4.0));
+        assert!(close(source_entropy(&sys, &d, &a), 4.0));
+    }
+
+    #[test]
+    fn constrained_source_transmits_less() {
+        // §2.2 threshold: unconstrained, 1 bit crosses; under α < 10,
+        // none does.
+        let sys = examples::threshold_system(15).unwrap();
+        let u = sys.universe();
+        let a = ObjSet::singleton(u.obj("alpha").unwrap());
+        let b = u.obj("beta").unwrap();
+        let h = History::single(OpId(0));
+        let d_free = Dist::uniform(&sys, &Phi::True).unwrap();
+        let bits_free = bits_equivocation(&sys, &d_free, &a, b, &h).unwrap();
+        // 10/16 vs 6/16 split: H(10/16) ≈ 0.954 bits.
+        assert!(bits_free > 0.9 && bits_free < 1.0);
+        let phi = Phi::expr(sd_core::Expr::var(u.obj("alpha").unwrap()).lt(sd_core::Expr::int(10)));
+        let d_con = Dist::uniform(&sys, &phi).unwrap();
+        assert!(close(
+            bits_equivocation(&sys, &d_con, &a, b, &h).unwrap(),
+            0.0
+        ));
+    }
+
+    #[test]
+    fn mod_adder_sec_7_4() {
+        // β ← (α1 + α2) mod 2^k: {α1, α2} transmits k bits; α1 alone
+        // transmits 0 (equivocation) but k (held-constant average).
+        let k = 4;
+        let sys = examples::mod_adder_system(k).unwrap();
+        let u = sys.universe();
+        let a1 = u.obj("a1").unwrap();
+        let a2 = u.obj("a2").unwrap();
+        let b = u.obj("beta").unwrap();
+        let d = Dist::uniform(&sys, &Phi::True).unwrap();
+        let h = History::single(OpId(0));
+        let pair = ObjSet::from_iter([a1, a2]);
+        assert!(close(
+            bits_equivocation(&sys, &d, &pair, b, &h).unwrap(),
+            k as f64
+        ));
+        assert!(close(
+            bits_equivocation(&sys, &d, &ObjSet::singleton(a1), b, &h).unwrap(),
+            0.0
+        ));
+        assert!(close(
+            bits_held_constant(&sys, &d, a1, b, &h).unwrap(),
+            k as f64
+        ));
+    }
+
+    #[test]
+    fn interference_of_the_adder() {
+        // b(α1) + b(α2) − b({α1, α2}) = 0 + 0 − k = −k: the sources are
+        // jointly informative but individually silent.
+        let k = 3;
+        let sys = examples::mod_adder_system(k).unwrap();
+        let u = sys.universe();
+        let a1 = ObjSet::singleton(u.obj("a1").unwrap());
+        let a2 = ObjSet::singleton(u.obj("a2").unwrap());
+        let b = u.obj("beta").unwrap();
+        let d = Dist::uniform(&sys, &Phi::True).unwrap();
+        let h = History::single(OpId(0));
+        let i = interference(&sys, &d, &a1, &a2, b, &h).unwrap();
+        assert!(close(i, -(k as f64)));
+    }
+
+    #[test]
+    fn data_processing_holds() {
+        for sys in [
+            examples::copy_system(4).unwrap(),
+            examples::nontransitive_system(2).unwrap(),
+            examples::m1m2_system(2).unwrap(),
+        ] {
+            let u = sys.universe();
+            let a = ObjSet::singleton(u.obj("alpha").unwrap());
+            let b = u.obj("beta").unwrap();
+            let d = Dist::uniform(&sys, &Phi::True).unwrap();
+            let ops: Vec<OpId> = sys.op_ids().collect();
+            let h1 = History::from_ops(vec![ops[0]]);
+            let h2 = History::from_ops(vec![*ops.last().unwrap()]);
+            let (through, intermediate) = data_processing_bound(&sys, &d, &a, b, &h1, &h2).unwrap();
+            assert!(
+                through <= intermediate + 1e-9,
+                "DPI violated: {through} > {intermediate}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_bits_iff_no_strong_dependency_on_uniform_support() {
+        // With a full-support uniform distribution, the equivocation
+        // measure is positive exactly when β strongly depends on A after
+        // H… for the single-history case.
+        let sys = examples::nontransitive_system(2).unwrap();
+        let u = sys.universe();
+        let a = ObjSet::singleton(u.obj("alpha").unwrap());
+        let b = u.obj("beta").unwrap();
+        let d = Dist::uniform(&sys, &Phi::True).unwrap();
+        // δ1 then δ2: no transmission (§4.4), so zero bits.
+        let h = History::from_ops(vec![OpId(0), OpId(1)]);
+        assert!(close(bits_equivocation(&sys, &d, &a, b, &h).unwrap(), 0.0));
+        assert!(
+            sd_core::depend::strongly_depends_after(&sys, &Phi::True, &a, b, &h)
+                .unwrap()
+                .is_none()
+        );
+    }
+}
+
+#[cfg(test)]
+mod max_bits_tests {
+    use super::*;
+    use sd_core::examples;
+    use sd_core::Phi;
+
+    #[test]
+    fn max_bits_finds_the_copy() {
+        // In the §3.3 flag system, the best history copies α before δ2
+        // destroys it; the λ history transmits nothing to β.
+        let sys = examples::flag_copy_system(4).unwrap();
+        let u = sys.universe();
+        let a = sd_core::ObjSet::singleton(u.obj("alpha").unwrap());
+        let b = u.obj("beta").unwrap();
+        let d = Dist::uniform(&sys, &Phi::True).unwrap();
+        let (bits, h) = max_bits(&sys, &d, &a, b, 2).unwrap();
+        // Best history: δ1 while the flag is still a coin flip — about
+        // 0.8 bits of α cross into β.
+        assert!(bits > 0.7, "got {bits}");
+        assert!(!h.is_empty());
+        // Under φ: ¬flag, only ≤ one-step histories carry anything, and
+        // the one-step δ1 run sets β ← 0 — zero bits; δ2 then δ1 copies
+        // the *new* α (= x), still nothing about α's initial value.
+        let phi = Phi::expr(sd_core::Expr::var(u.obj("flag").unwrap()).not());
+        let dc = Dist::uniform(&sys, &phi).unwrap();
+        let (blocked, _) = max_bits(&sys, &dc, &a, b, 2).unwrap();
+        assert!(blocked.abs() < 1e-9, "got {blocked}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests for the quantitative theory: information inequalities
+//! that must hold for every system and distribution.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sd_core::{examples, Cmd, Domain, Expr, History, ObjSet, Op, OpId, Phi, System, Universe};
+use sd_info::{bits_equivocation, source_entropy, Channel, Dist};
+
+const EPS: f64 = 1e-9;
+
+fn random_system(seed: u64) -> System {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 3;
+    let k = 3i64;
+    let objects = (0..n)
+        .map(|i| (format!("x{i}"), Domain::int_range(0, k - 1).unwrap()))
+        .collect();
+    let u = Universe::new(objects).unwrap();
+    let ids: Vec<_> = u.objects().collect();
+    let ops = (0..3)
+        .map(|i| {
+            let g = ids[rng.gen_range(0..n)];
+            let c = rng.gen_range(0..k);
+            let dst = ids[rng.gen_range(0..n)];
+            let src = ids[rng.gen_range(0..n)];
+            Op::from_cmd(
+                format!("o{i}"),
+                Cmd::when(
+                    Expr::var(g).lt(Expr::int(c)),
+                    Cmd::assign(dst, Expr::var(src)),
+                ),
+            )
+        })
+        .collect();
+    System::new(u, ops)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// 0 ≤ transmitted bits ≤ source entropy.
+    #[test]
+    fn bits_bounded_by_source_entropy(seed in 0u64..100, hlen in 0usize..3) {
+        let sys = random_system(seed);
+        let u = sys.universe();
+        let a = ObjSet::singleton(u.obj("x0").unwrap());
+        let beta = u.obj("x2").unwrap();
+        let d = Dist::uniform(&sys, &Phi::True).unwrap();
+        let h = History::from_ops(vec![OpId((seed % 3) as u32); hlen]);
+        let bits = bits_equivocation(&sys, &d, &a, beta, &h).unwrap();
+        let h_src = source_entropy(&sys, &d, &a);
+        prop_assert!(bits >= -EPS);
+        prop_assert!(bits <= h_src + EPS, "{bits} > H(A) = {h_src}");
+    }
+
+    /// Monotonicity in the source (information inequality counterpart of
+    /// Thm 2-2): b(A1 → β) ≤ b(A2 → β) when A1 ⊆ A2.
+    #[test]
+    fn bits_monotone_in_source(seed in 0u64..100) {
+        let sys = random_system(seed);
+        let u = sys.universe();
+        let x0 = u.obj("x0").unwrap();
+        let x1 = u.obj("x1").unwrap();
+        let beta = u.obj("x2").unwrap();
+        let d = Dist::uniform(&sys, &Phi::True).unwrap();
+        let h = History::from_ops(vec![OpId(0), OpId(1 % sys.num_ops() as u32)]);
+        let small = bits_equivocation(&sys, &d, &ObjSet::singleton(x0), beta, &h).unwrap();
+        let big = bits_equivocation(&sys, &d, &ObjSet::from_iter([x0, x1]), beta, &h).unwrap();
+        prop_assert!(small <= big + EPS, "{small} > {big}");
+    }
+
+    /// Pushforward preserves probability mass.
+    #[test]
+    fn pushforward_preserves_mass(seed in 0u64..100, hlen in 0usize..4) {
+        let sys = random_system(seed);
+        let d = Dist::uniform(&sys, &Phi::True).unwrap();
+        let h = History::from_ops(vec![OpId((seed % 3) as u32); hlen]);
+        let after = d.after(&sys, &h).unwrap();
+        prop_assert!((after.total() - 1.0).abs() < EPS);
+    }
+
+    /// The data-processing bound holds on random systems and splits.
+    #[test]
+    fn data_processing_inequality(seed in 0u64..60) {
+        let sys = random_system(seed);
+        let u = sys.universe();
+        let a = ObjSet::singleton(u.obj("x0").unwrap());
+        let beta = u.obj("x1").unwrap();
+        let d = Dist::uniform(&sys, &Phi::True).unwrap();
+        let h1 = History::single(OpId(0));
+        let h2 = History::single(OpId((seed % 3) as u32));
+        let (through, intermediate) =
+            sd_info::data_processing_bound(&sys, &d, &a, beta, &h1, &h2).unwrap();
+        prop_assert!(through <= intermediate + EPS, "{through} > {intermediate}");
+    }
+
+    /// Channel capacity dominates the mutual information of any input
+    /// distribution.
+    #[test]
+    fn capacity_is_supremum(rows in 2usize..5, eps in 0.0f64..0.49, p0 in 0.01f64..0.99) {
+        let ch = Channel::symmetric(rows, eps).unwrap();
+        let (cap, _, _) = ch.capacity(1e-10, 10_000).unwrap();
+        // A skewed input: p0 on symbol 0, the rest uniform.
+        let rest = (1.0 - p0) / (rows as f64 - 1.0);
+        let mut px = vec![rest; rows];
+        px[0] = p0;
+        let mi = ch.mutual_information(&px).unwrap();
+        prop_assert!(mi <= cap + 1e-6, "MI {mi} exceeds capacity {cap}");
+    }
+}
+
+/// For deterministic systems under a uniform full-support distribution,
+/// the equivocation measure is exactly H(β′) − H(β′ | A), and summing
+/// measure identities hold (chain-rule sanity).
+#[test]
+fn equivocation_identity() {
+    let sys = examples::mod_adder_system(3).unwrap();
+    let u = sys.universe();
+    let a1 = u.obj("a1").unwrap();
+    let beta = u.obj("beta").unwrap();
+    let d = Dist::uniform(&sys, &Phi::True).unwrap();
+    let h = History::single(OpId(0));
+    let joint = d
+        .joint_initial_final(&sys, &ObjSet::singleton(a1), &ObjSet::singleton(beta), &h)
+        .unwrap();
+    let mi = sd_info::mutual_information(&joint);
+    // β′ is uniform over 8 values; H(β′|α1) is also 3 bits (α2 uniform).
+    let after = d.after(&sys, &h).unwrap();
+    let h_beta = sd_info::entropy(
+        after
+            .marginal(&sys, &ObjSet::singleton(beta))
+            .values()
+            .collect::<Vec<_>>()
+            .into_iter(),
+    );
+    let equivocation = sd_info::conditional_entropy(&joint);
+    assert!((h_beta - 3.0).abs() < EPS);
+    assert!((mi - (h_beta - equivocation)).abs() < EPS);
+    assert!(mi.abs() < EPS, "adder transmits nothing from α1 alone");
+}
+
+/// §7.4's "initial entropy − equivocation" phrasing, verified directly:
+/// for the copy system, equivocation is 0 and everything crosses.
+#[test]
+fn copy_has_zero_equivocation() {
+    let sys = examples::copy_system(8).unwrap();
+    let u = sys.universe();
+    let a = u.obj("alpha").unwrap();
+    let beta = u.obj("beta").unwrap();
+    let d = Dist::uniform(&sys, &Phi::True).unwrap();
+    let h = History::single(OpId(0));
+    let joint = d
+        .joint_initial_final(&sys, &ObjSet::singleton(a), &ObjSet::singleton(beta), &h)
+        .unwrap();
+    assert!(sd_info::conditional_entropy(&joint).abs() < EPS);
+    assert!((sd_info::mutual_information(&joint) - 3.0).abs() < EPS);
+}

@@ -1,0 +1,291 @@
+//! Abstract syntax for the mini imperative language.
+//!
+//! The paper analyzes sequential programs by modelling them as
+//! computational systems with an explicit program counter (§6.5, following
+//! Lipton). This crate provides a small structured language — declarations,
+//! assignments, `if`, `while` — that compiles to exactly that model.
+
+use std::fmt;
+
+/// A variable's declared type, which fixes its finite domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Type {
+    /// Booleans.
+    Bool,
+    /// Integers in an inclusive range.
+    Int {
+        /// Lower bound.
+        lo: i64,
+        /// Upper bound.
+        hi: i64,
+    },
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Bool => write!(f, "bool"),
+            Type::Int { lo, hi } => write!(f, "int {lo}..{hi}"),
+        }
+    }
+}
+
+/// Binary operators (source-level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (Euclidean)
+    Div,
+    /// `%` (Euclidean remainder)
+    Mod,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A source-level expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable reference.
+    Var(String),
+    /// Unary negation `-e`.
+    Neg(Box<Expr>),
+    /// Boolean negation `!e`.
+    Not(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Variable reference helper.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Collects the variables read by this expression.
+    pub fn reads(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Int(_) | Expr::Bool(_) => {}
+            Expr::Var(v) => out.push(v.clone()),
+            Expr::Neg(e) | Expr::Not(e) => e.reads(out),
+            Expr::Bin(_, l, r) => {
+                l.reads(out);
+                r.reads(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Int(i) => write!(f, "{i}"),
+            Expr::Bool(b) => write!(f, "{b}"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Neg(e) => write!(f, "-({e})"),
+            Expr::Not(e) => write!(f, "!({e})"),
+            Expr::Bin(op, l, r) => write!(f, "({l} {op} {r})"),
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `x := e;`
+    Assign(String, Expr),
+    /// `skip;`
+    Skip,
+    /// `if e { … } else { … }` (the else branch may be empty).
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while e { … }`
+    While(Expr, Vec<Stmt>),
+}
+
+/// A program: typed declarations followed by a statement list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Variable declarations, in order.
+    pub decls: Vec<(String, Type)>,
+    /// The program body.
+    pub body: Vec<Stmt>,
+}
+
+impl Program {
+    /// Looks up a declaration.
+    pub fn decl(&self, name: &str) -> Option<Type> {
+        self.decls.iter().find(|(n, _)| n == name).map(|(_, t)| *t)
+    }
+
+    /// Number of program points the pc compilation creates (excluding
+    /// exit): branch-free `if`s compile to a single atomic operation (a
+    /// flowchart box, §6.5); `if`s with nested control flow and `while`
+    /// loops get an explicit branch point plus their bodies.
+    pub fn atomic_count(&self) -> usize {
+        fn branch_free(stmts: &[Stmt]) -> bool {
+            stmts.iter().all(|s| match s {
+                Stmt::Assign(..) | Stmt::Skip => true,
+                Stmt::If(_, t, e) => branch_free(t) && branch_free(e),
+                Stmt::While(..) => false,
+            })
+        }
+        fn count(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::Assign(..) | Stmt::Skip => 1,
+                    Stmt::If(_, t, e) if branch_free(t) && branch_free(e) => 1,
+                    // A branch statement plus both arms.
+                    Stmt::If(_, t, e) => 1 + count(t) + count(e),
+                    // A test statement plus the body.
+                    Stmt::While(_, b) => 1 + count(b),
+                })
+                .sum()
+        }
+        count(&self.body)
+    }
+}
+
+fn fmt_block(f: &mut fmt::Formatter<'_>, stmts: &[Stmt], indent: usize) -> fmt::Result {
+    let pad = "  ".repeat(indent);
+    for s in stmts {
+        match s {
+            Stmt::Assign(x, e) => writeln!(f, "{pad}{x} := {e};")?,
+            Stmt::Skip => writeln!(f, "{pad}skip;")?,
+            Stmt::If(g, t, e) => {
+                writeln!(f, "{pad}if {g} {{")?;
+                fmt_block(f, t, indent + 1)?;
+                if e.is_empty() {
+                    writeln!(f, "{pad}}}")?;
+                } else {
+                    writeln!(f, "{pad}}} else {{")?;
+                    fmt_block(f, e, indent + 1)?;
+                    writeln!(f, "{pad}}}")?;
+                }
+            }
+            Stmt::While(g, b) => {
+                writeln!(f, "{pad}while {g} {{")?;
+                fmt_block(f, b, indent + 1)?;
+                writeln!(f, "{pad}}}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, ty) in &self.decls {
+            writeln!(f, "var {name}: {ty};")?;
+        }
+        fmt_block(f, &self.body, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Program {
+        Program {
+            decls: vec![
+                ("x".into(), Type::Int { lo: 0, hi: 3 }),
+                ("b".into(), Type::Bool),
+            ],
+            body: vec![
+                Stmt::Assign("x".into(), Expr::Int(1)),
+                Stmt::If(
+                    Expr::var("b"),
+                    vec![Stmt::Assign("x".into(), Expr::Int(2))],
+                    vec![Stmt::Skip],
+                ),
+                Stmt::While(
+                    Expr::Bin(BinOp::Lt, Box::new(Expr::var("x")), Box::new(Expr::Int(3))),
+                    vec![Stmt::Assign(
+                        "x".into(),
+                        Expr::Bin(BinOp::Add, Box::new(Expr::var("x")), Box::new(Expr::Int(1))),
+                    )],
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn display_roundtrips_structure() {
+        let p = sample();
+        let s = p.to_string();
+        assert!(s.contains("var x: int 0..3;"));
+        assert!(s.contains("if b {"));
+        assert!(s.contains("while (x < 3) {"));
+        assert!(s.contains("} else {"));
+    }
+
+    #[test]
+    fn atomic_count_counts_program_points() {
+        let p = sample();
+        // assign + atomic if + (while + assign) = 4.
+        assert_eq!(p.atomic_count(), 4);
+    }
+
+    #[test]
+    fn decl_lookup() {
+        let p = sample();
+        assert_eq!(p.decl("b"), Some(Type::Bool));
+        assert_eq!(p.decl("zzz"), None);
+    }
+
+    #[test]
+    fn expr_reads() {
+        let e = Expr::Bin(
+            BinOp::And,
+            Box::new(Expr::var("a")),
+            Box::new(Expr::Not(Box::new(Expr::var("b")))),
+        );
+        let mut reads = Vec::new();
+        e.reads(&mut reads);
+        assert_eq!(reads, vec!["a".to_string(), "b".to_string()]);
+    }
+}

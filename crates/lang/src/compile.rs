@@ -1,0 +1,696 @@
+//! Compilation of programs to pc-guarded computational systems.
+//!
+//! Following §6.5 (after Lipton), a sequential program is modelled as a
+//! computational system in which every statement becomes an operation
+//! guarded by an explicit program counter:
+//!
+//! ```text
+//! δi: if pc = i then ( …statement body…; pc ← next )
+//! ```
+//!
+//! Branch-free `if` statements compile to a *single* atomic operation with
+//! an internal conditional — exactly how the paper's flowchart boxes work
+//! (`δ1: if pc = 1 then (if q > 10 then t ← tt else t ← ff; pc ← 2)`).
+//! This keeps the program counter's trajectory data-independent for
+//! branch-free programs, which is what makes the pc-indexed Floyd cover an
+//! inductive cover (Def 6-2). `while` loops and `if`s with nested control
+//! flow fall back to explicit pc branches.
+
+use std::collections::BTreeMap;
+
+use sd_core::{Cmd, Domain, Expr as CExpr, ObjId, Op, Phi, State, System, Universe};
+
+use crate::ast::{BinOp, Expr, Program, Stmt, Type};
+use crate::error::{LangError, Result};
+use crate::eval::Val;
+
+/// The inferred type of a lowered expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ETy {
+    Bool,
+    Int,
+}
+
+/// Lowers a source expression to a core expression, with type inference.
+fn lower_expr(e: &Expr, vars: &BTreeMap<String, (ObjId, Type)>) -> Result<(CExpr, ETy)> {
+    match e {
+        Expr::Int(i) => Ok((CExpr::int(*i), ETy::Int)),
+        Expr::Bool(b) => Ok((CExpr::bool(*b), ETy::Bool)),
+        Expr::Var(v) => {
+            let (id, ty) = vars
+                .get(v)
+                .ok_or_else(|| LangError::Semantic(format!("undeclared variable `{v}`")))?;
+            let ety = match ty {
+                Type::Bool => ETy::Bool,
+                Type::Int { .. } => ETy::Int,
+            };
+            Ok((CExpr::var(*id), ety))
+        }
+        Expr::Neg(inner) => {
+            let (ce, ty) = lower_expr(inner, vars)?;
+            if ty != ETy::Int {
+                return Err(LangError::Semantic("`-` needs an int operand".into()));
+            }
+            Ok((ce.neg(), ETy::Int))
+        }
+        Expr::Not(inner) => {
+            let (ce, ty) = lower_expr(inner, vars)?;
+            if ty != ETy::Bool {
+                return Err(LangError::Semantic("`!` needs a bool operand".into()));
+            }
+            Ok((ce.not(), ETy::Bool))
+        }
+        Expr::Bin(op, l, r) => {
+            let (cl, tl) = lower_expr(l, vars)?;
+            let (cr, tr) = lower_expr(r, vars)?;
+            let (core_op, need, out) = match op {
+                BinOp::Add => (sd_core::BinOp::Add, ETy::Int, ETy::Int),
+                BinOp::Sub => (sd_core::BinOp::Sub, ETy::Int, ETy::Int),
+                BinOp::Mul => (sd_core::BinOp::Mul, ETy::Int, ETy::Int),
+                BinOp::Div => (sd_core::BinOp::Div, ETy::Int, ETy::Int),
+                BinOp::Mod => (sd_core::BinOp::Mod, ETy::Int, ETy::Int),
+                BinOp::Lt => (sd_core::BinOp::Lt, ETy::Int, ETy::Bool),
+                BinOp::Le => (sd_core::BinOp::Le, ETy::Int, ETy::Bool),
+                BinOp::Gt => (sd_core::BinOp::Gt, ETy::Int, ETy::Bool),
+                BinOp::Ge => (sd_core::BinOp::Ge, ETy::Int, ETy::Bool),
+                BinOp::And => (sd_core::BinOp::And, ETy::Bool, ETy::Bool),
+                BinOp::Or => (sd_core::BinOp::Or, ETy::Bool, ETy::Bool),
+                BinOp::Eq | BinOp::Ne => {
+                    if tl != tr {
+                        return Err(LangError::Semantic(
+                            "`==`/`!=` operands must have the same type".into(),
+                        ));
+                    }
+                    let core_op = if *op == BinOp::Eq {
+                        sd_core::BinOp::Eq
+                    } else {
+                        sd_core::BinOp::Ne
+                    };
+                    return Ok((CExpr::bin(core_op, cl, cr), ETy::Bool));
+                }
+            };
+            if tl != need || tr != need {
+                return Err(LangError::Semantic(format!(
+                    "operator `{op}` needs {need:?} operands"
+                )));
+            }
+            Ok((CExpr::bin(core_op, cl, cr), out))
+        }
+    }
+}
+
+/// Lowers an expression for use in assertions; returns the core expression
+/// and whether it is boolean-typed.
+pub(crate) fn lower_expr_pub(
+    e: &Expr,
+    vars: &BTreeMap<String, (ObjId, Type)>,
+) -> Result<(CExpr, bool)> {
+    let (ce, ty) = lower_expr(e, vars)?;
+    Ok((ce, ty == ETy::Bool))
+}
+
+/// One compiled program point.
+#[derive(Debug, Clone)]
+pub struct FlatStmt {
+    /// The pc value at which this statement executes.
+    pub label: i64,
+    /// Human-readable rendering.
+    pub text: String,
+    /// Variable written, if this is an assignment point.
+    pub writes: Option<String>,
+}
+
+/// A program compiled to a computational system with an explicit pc.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The computational system.
+    pub system: System,
+    /// The pc object.
+    pub pc: ObjId,
+    /// The entry pc value.
+    pub entry: i64,
+    /// The exit (halt) pc value.
+    pub exit: i64,
+    /// Declared variables and their objects.
+    pub vars: BTreeMap<String, ObjId>,
+    /// The flattened program points (one operation per point).
+    pub flat: Vec<FlatStmt>,
+}
+
+/// Whether a statement list is branch free (assignments and skips only) —
+/// such a block can execute inside a single atomic operation.
+fn branch_free(stmts: &[Stmt]) -> bool {
+    stmts.iter().all(|s| match s {
+        Stmt::Assign(..) | Stmt::Skip => true,
+        Stmt::If(_, t, e) => branch_free(t) && branch_free(e),
+        Stmt::While(..) => false,
+    })
+}
+
+/// Lowers a branch-free statement list to a core command.
+fn lower_branch_free(stmts: &[Stmt], vars: &BTreeMap<String, (ObjId, Type)>) -> Result<Cmd> {
+    let mut cmds = Vec::new();
+    for s in stmts {
+        match s {
+            Stmt::Skip => {}
+            Stmt::Assign(x, e) => {
+                let (id, ty) = vars
+                    .get(x)
+                    .ok_or_else(|| LangError::Semantic(format!("undeclared variable `{x}`")))?;
+                let (ce, ety) = lower_expr(e, vars)?;
+                let want = match ty {
+                    Type::Bool => ETy::Bool,
+                    Type::Int { .. } => ETy::Int,
+                };
+                if ety != want {
+                    return Err(LangError::Semantic(format!(
+                        "assignment to `{x}` has the wrong type"
+                    )));
+                }
+                // Operations must be total functions on the whole state
+                // space (§1.2), so an assignment whose value would leave
+                // the declared range sticks (is a no-op). The interpreter
+                // in `eval` has the same semantics.
+                match ty {
+                    Type::Bool => cmds.push(Cmd::assign(*id, ce)),
+                    Type::Int { lo, hi } => {
+                        let in_range = ce
+                            .clone()
+                            .ge(CExpr::int(*lo))
+                            .and(ce.clone().le(CExpr::int(*hi)));
+                        cmds.push(Cmd::when(in_range, Cmd::assign(*id, ce)));
+                    }
+                }
+            }
+            Stmt::If(g, t, e) => {
+                let (cg, ty) = lower_expr(g, vars)?;
+                if ty != ETy::Bool {
+                    return Err(LangError::Semantic("if guard must be bool".into()));
+                }
+                cmds.push(Cmd::If(
+                    cg,
+                    Box::new(lower_branch_free(t, vars)?),
+                    Box::new(lower_branch_free(e, vars)?),
+                ));
+            }
+            Stmt::While(..) => {
+                return Err(LangError::Semantic(
+                    "while cannot appear in an atomic block".into(),
+                ))
+            }
+        }
+    }
+    Ok(Cmd::Seq(cmds))
+}
+
+/// The flattening pass output: a command body plus a successor target, or a
+/// branch.
+enum Flat {
+    /// Execute a command and jump.
+    Step {
+        body: Cmd,
+        goto: usize,
+        text: String,
+        writes: Option<String>,
+    },
+    /// Evaluate a guard and jump either way.
+    Branch {
+        guard: CExpr,
+        then_to: usize,
+        else_to: usize,
+        text: String,
+    },
+}
+
+struct Lowerer<'a> {
+    vars: &'a BTreeMap<String, (ObjId, Type)>,
+    slots: Vec<Option<Flat>>,
+}
+
+impl Lowerer<'_> {
+    fn push(&mut self, f: Flat) -> usize {
+        self.slots.push(Some(f));
+        self.slots.len() - 1
+    }
+
+    fn reserve(&mut self) -> usize {
+        self.slots.push(None);
+        self.slots.len() - 1
+    }
+
+    /// Emits a block; returns its entry slot (or `follow` if empty).
+    fn emit_block(&mut self, stmts: &[Stmt], follow: usize) -> Result<usize> {
+        let mut next = follow;
+        for s in stmts.iter().rev() {
+            next = self.emit_stmt(s, next)?;
+        }
+        Ok(next)
+    }
+
+    fn emit_stmt(&mut self, s: &Stmt, follow: usize) -> Result<usize> {
+        match s {
+            Stmt::Skip => Ok(self.push(Flat::Step {
+                body: Cmd::Skip,
+                goto: follow,
+                text: "skip".into(),
+                writes: None,
+            })),
+            Stmt::Assign(x, e) => {
+                let body = lower_branch_free(std::slice::from_ref(s), self.vars)?;
+                Ok(self.push(Flat::Step {
+                    body,
+                    goto: follow,
+                    text: format!("{x} := {e}"),
+                    writes: Some(x.clone()),
+                }))
+            }
+            Stmt::If(g, t, e) if branch_free(t) && branch_free(e) => {
+                // Atomic conditional — a single flowchart box, as in §6.5.
+                let (cg, ty) = lower_expr(g, self.vars)?;
+                if ty != ETy::Bool {
+                    return Err(LangError::Semantic("if guard must be bool".into()));
+                }
+                let body = Cmd::If(
+                    cg,
+                    Box::new(lower_branch_free(t, self.vars)?),
+                    Box::new(lower_branch_free(e, self.vars)?),
+                );
+                // Record every variable either arm can write.
+                let mut ws = Vec::new();
+                for arm in [t, e] {
+                    collect_writes(arm, &mut ws);
+                }
+                Ok(self.push(Flat::Step {
+                    body,
+                    goto: follow,
+                    text: format!("if {g} then …"),
+                    writes: ws.first().cloned(),
+                }))
+            }
+            Stmt::If(g, t, e) => {
+                let (cg, ty) = lower_expr(g, self.vars)?;
+                if ty != ETy::Bool {
+                    return Err(LangError::Semantic("if guard must be bool".into()));
+                }
+                let t_entry = self.emit_block(t, follow)?;
+                let e_entry = self.emit_block(e, follow)?;
+                Ok(self.push(Flat::Branch {
+                    guard: cg,
+                    then_to: t_entry,
+                    else_to: e_entry,
+                    text: format!("branch {g}"),
+                }))
+            }
+            Stmt::While(g, b) => {
+                let (cg, ty) = lower_expr(g, self.vars)?;
+                if ty != ETy::Bool {
+                    return Err(LangError::Semantic("while guard must be bool".into()));
+                }
+                let slot = self.reserve();
+                let body_entry = self.emit_block(b, slot)?;
+                self.slots[slot] = Some(Flat::Branch {
+                    guard: cg,
+                    then_to: body_entry,
+                    else_to: follow,
+                    text: format!("while {g}"),
+                });
+                Ok(slot)
+            }
+        }
+    }
+}
+
+fn collect_writes(stmts: &[Stmt], out: &mut Vec<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(x, _) => out.push(x.clone()),
+            Stmt::If(_, t, e) => {
+                collect_writes(t, out);
+                collect_writes(e, out);
+            }
+            Stmt::While(_, b) => collect_writes(b, out),
+            Stmt::Skip => {}
+        }
+    }
+}
+
+/// Compiles a program to a computational system with an explicit pc.
+///
+/// The exit slot has pc value `slots + 1`; every operation is a no-op
+/// unless the pc matches its label, so the compiled system is total.
+///
+/// # Examples
+///
+/// ```
+/// let p = sd_lang::parse("var x: int 0..3; var y: int 0..3; y := x;")?;
+/// let c = sd_lang::compile(&p)?;
+/// assert_eq!(c.flat.len(), 1);
+/// c.system.validate().expect("compiled systems are total");
+/// # Ok::<(), sd_lang::LangError>(())
+/// ```
+pub fn compile(p: &Program) -> Result<Compiled> {
+    if p.decls.iter().any(|(n, _)| n == "pc") {
+        return Err(LangError::Semantic(
+            "`pc` is reserved for the program counter".into(),
+        ));
+    }
+    // First pass: lower the control structure with placeholder var ids.
+    // We need the universe (including pc) before lowering expressions, so
+    // declare objects first.
+    let mut objects: Vec<(String, Domain)> = Vec::new();
+    for (name, ty) in &p.decls {
+        let dom = match ty {
+            Type::Bool => Domain::boolean(),
+            Type::Int { lo, hi } => Domain::int_range(*lo, *hi)?,
+        };
+        objects.push((name.clone(), dom));
+    }
+    // The pc domain is sized after flattening; flatten with a dry run to
+    // count slots. The lowering needs var ids, so build a preliminary
+    // universe without pc just for ids — ids are positional, and pc is
+    // appended last so variable ids are stable.
+    let prelim = Universe::new(objects.clone())?;
+    let mut var_map: BTreeMap<String, (ObjId, Type)> = BTreeMap::new();
+    for (name, ty) in &p.decls {
+        var_map.insert(name.clone(), (prelim.obj(name)?, *ty));
+    }
+
+    // Exit is a virtual slot appended after real slots; reserve index 0 of
+    // the lowerer's numbering for it by emitting with `follow = usize::MAX`
+    // then patching. Simpler: lower with a sentinel and patch below.
+    let mut low = Lowerer {
+        vars: &var_map,
+        slots: Vec::new(),
+    };
+    // Sentinel exit slot index: patched to `slots.len()` after emission.
+    const EXIT: usize = usize::MAX;
+    let entry_slot = low.emit_block(&p.body, EXIT)?;
+    let n = low.slots.len();
+
+    // Renumber slots in depth-first execution order from the entry, so
+    // labels read like the source: entry is 1, exit is n + 1.
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut stack = Vec::new();
+    if entry_slot != EXIT {
+        stack.push(entry_slot);
+    }
+    while let Some(s) = stack.pop() {
+        if seen[s] {
+            continue;
+        }
+        seen[s] = true;
+        order.push(s);
+        match low.slots[s].as_ref().expect("slot filled") {
+            Flat::Step { goto, .. } => {
+                if *goto != EXIT {
+                    stack.push(*goto);
+                }
+            }
+            Flat::Branch {
+                then_to, else_to, ..
+            } => {
+                // Push else first so the then-branch is numbered first.
+                if *else_to != EXIT {
+                    stack.push(*else_to);
+                }
+                if *then_to != EXIT {
+                    stack.push(*then_to);
+                }
+            }
+        }
+    }
+    // All emitted slots are reachable from the entry by construction.
+    debug_assert_eq!(order.len(), n);
+    let mut perm = vec![0usize; n];
+    for (new, &old) in order.iter().enumerate() {
+        perm[old] = new;
+    }
+    let remapped: Vec<Option<Flat>> = {
+        let mut slots: Vec<Option<Flat>> = (0..n).map(|_| None).collect();
+        for (old, slot) in low.slots.into_iter().enumerate() {
+            slots[perm[old]] = slot;
+        }
+        slots
+    };
+    low.slots = remapped;
+    // `fix` maps original slot indices (as stored in goto targets and in
+    // `entry_slot`) to their renumbered positions.
+    let perm_ref = perm;
+    let fix = move |slot: usize| if slot == EXIT { n } else { perm_ref[slot] };
+
+    // pc values are slot + 1; exit pc = n + 1; entry pc = entry_slot + 1.
+    let mut objects = objects;
+    objects.push(("pc".into(), Domain::int_range(1, (n + 1) as i64)?));
+    let u = Universe::new(objects)?;
+    let pc = u.obj("pc")?;
+
+    let mut ops = Vec::new();
+    let mut flat = Vec::new();
+    for (i, slot) in low.slots.iter().enumerate() {
+        let label = (i + 1) as i64;
+        let at = CExpr::var(pc).eq(CExpr::int(label));
+        let slot = slot.as_ref().expect("all slots filled");
+        let (cmd, text, writes) = match slot {
+            Flat::Step {
+                body,
+                goto,
+                text,
+                writes,
+            } => (
+                Cmd::Seq(vec![
+                    body.clone(),
+                    Cmd::assign(pc, CExpr::int((fix(*goto) + 1) as i64)),
+                ]),
+                text.clone(),
+                writes.clone(),
+            ),
+            Flat::Branch {
+                guard,
+                then_to,
+                else_to,
+                text,
+            } => (
+                Cmd::If(
+                    guard.clone(),
+                    Box::new(Cmd::assign(pc, CExpr::int((fix(*then_to) + 1) as i64))),
+                    Box::new(Cmd::assign(pc, CExpr::int((fix(*else_to) + 1) as i64))),
+                ),
+                text.clone(),
+                None,
+            ),
+        };
+        ops.push(Op::from_cmd(format!("s{label}"), Cmd::when(at, cmd)));
+        flat.push(FlatStmt {
+            label,
+            text,
+            writes,
+        });
+    }
+    let vars = var_map
+        .iter()
+        .map(|(k, (id, _))| (k.clone(), *id))
+        .collect();
+    Ok(Compiled {
+        system: System::new(u, ops),
+        pc,
+        entry: (fix(entry_slot) + 1) as i64,
+        exit: (n + 1) as i64,
+        vars,
+        flat,
+    })
+}
+
+impl Compiled {
+    /// Looks up a program variable's object.
+    pub fn var(&self, name: &str) -> Result<ObjId> {
+        self.vars
+            .get(name)
+            .copied()
+            .ok_or_else(|| LangError::Semantic(format!("unknown variable `{name}`")))
+    }
+
+    /// The initial-control constraint `pc = entry` (the φ of §6.5).
+    pub fn at_entry(&self) -> Phi {
+        Phi::expr(CExpr::var(self.pc).eq(CExpr::int(self.entry)))
+    }
+
+    /// The constraint `pc = label`.
+    pub fn at(&self, label: i64) -> Phi {
+        Phi::expr(CExpr::var(self.pc).eq(CExpr::int(label)))
+    }
+
+    /// Builds an initial state from a variable environment (pc = entry).
+    pub fn initial_state(&self, env: &crate::eval::Env) -> Result<State> {
+        let u = self.system.universe();
+        let mut idx = vec![0u32; u.num_objects()];
+        for (name, id) in &self.vars {
+            let val = env.get(name).ok_or_else(|| {
+                LangError::Semantic(format!("missing initial value for `{name}`"))
+            })?;
+            let cv = match val {
+                Val::Bool(b) => sd_core::Value::Bool(*b),
+                Val::Int(i) => sd_core::Value::Int(*i),
+            };
+            let di = u.domain(*id).index_of(&cv).ok_or_else(|| {
+                LangError::Semantic(format!("initial value for `{name}` out of domain"))
+            })?;
+            idx[id.index()] = di;
+        }
+        let pc_idx = u
+            .domain(self.pc)
+            .index_of(&sd_core::Value::Int(self.entry))
+            .expect("entry pc in domain");
+        idx[self.pc.index()] = pc_idx;
+        Ok(State::from_indices(idx))
+    }
+
+    /// Drives the compiled system until the pc reaches the exit label,
+    /// dispatching the operation matching the current pc.
+    pub fn run_to_halt(&self, sigma: &State, fuel: u64) -> Result<State> {
+        let u = self.system.universe();
+        let mut cur = sigma.clone();
+        let mut fuel = fuel;
+        loop {
+            let pc_val = cur.value(u, self.pc).as_int().expect("pc is int-valued");
+            if pc_val == self.exit {
+                return Ok(cur);
+            }
+            if fuel == 0 {
+                return Err(LangError::OutOfFuel);
+            }
+            fuel -= 1;
+            let op = sd_core::OpId((pc_val - 1) as u32);
+            cur = self.system.apply(op, &cur)?;
+        }
+    }
+
+    /// Reads a variable out of a state as a [`Val`].
+    pub fn read(&self, sigma: &State, name: &str) -> Result<Val> {
+        let id = self.var(name)?;
+        match sigma.value(self.system.universe(), id) {
+            sd_core::Value::Bool(b) => Ok(Val::Bool(*b)),
+            sd_core::Value::Int(i) => Ok(Val::Int(*i)),
+            other => Err(LangError::Semantic(format!(
+                "variable `{name}` holds non-scalar value {other}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{run, Env};
+    use crate::parser::parse;
+
+    fn env(pairs: &[(&str, Val)]) -> Env {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn compiled_agrees_with_interpreter() {
+        let src = "\
+var alpha: int 0..1;
+var beta: int 0..1;
+var q: int 0..15;
+var t: bool;
+if q > 10 { t := true; } else { t := false; }
+if t { beta := alpha; }
+";
+        let p = parse(src).unwrap();
+        let c = compile(&p).unwrap();
+        c.system.validate().unwrap();
+        for q in [0i64, 5, 11, 15] {
+            for alpha in [0i64, 1] {
+                let e = env(&[
+                    ("alpha", Val::Int(alpha)),
+                    ("beta", Val::Int(0)),
+                    ("q", Val::Int(q)),
+                    ("t", Val::Bool(false)),
+                ]);
+                let direct = run(&p, &e, 100).unwrap();
+                let s0 = c.initial_state(&e).unwrap();
+                let end = c.run_to_halt(&s0, 100).unwrap();
+                for v in ["alpha", "beta", "q", "t"] {
+                    assert_eq!(c.read(&end, v).unwrap(), direct[v], "var {v}, q={q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_ifs_keep_pc_linear() {
+        // The §6.5 program compiles to exactly two program points.
+        let src = "\
+var q: int 0..15;
+var t: bool;
+if q > 10 { t := true; } else { t := false; }
+if t { skip; }
+";
+        let c = compile(&parse(src).unwrap()).unwrap();
+        assert_eq!(c.flat.len(), 2);
+        assert_eq!(c.entry, 1);
+        assert_eq!(c.exit, 3);
+    }
+
+    #[test]
+    fn while_loops_compile_and_run() {
+        let src = "var x: int 0..10; while x < 10 { x := x + 1; }";
+        let p = parse(src).unwrap();
+        let c = compile(&p).unwrap();
+        c.system.validate().unwrap();
+        let e = env(&[("x", Val::Int(7))]);
+        let end = c.run_to_halt(&c.initial_state(&e).unwrap(), 100).unwrap();
+        assert_eq!(c.read(&end, "x").unwrap(), Val::Int(10));
+    }
+
+    #[test]
+    fn nested_control_flow() {
+        let src = "\
+var x: int 0..20;
+var y: int 0..20;
+while x < 5 {
+  x := x + 1;
+  if x % 2 == 0 { y := y + x; }
+}
+";
+        let p = parse(src).unwrap();
+        let c = compile(&p).unwrap();
+        let e = env(&[("x", Val::Int(0)), ("y", Val::Int(0))]);
+        let direct = run(&p, &e, 1000).unwrap();
+        let end = c.run_to_halt(&c.initial_state(&e).unwrap(), 1000).unwrap();
+        assert_eq!(c.read(&end, "x").unwrap(), direct["x"]);
+        assert_eq!(c.read(&end, "y").unwrap(), direct["y"]);
+    }
+
+    #[test]
+    fn pc_reserved() {
+        assert!(compile(&parse("var pc: bool;").unwrap()).is_err());
+    }
+
+    #[test]
+    fn type_errors_rejected() {
+        assert!(compile(&parse("var b: bool; b := 3;").unwrap()).is_err());
+        assert!(compile(&parse("var x: int 0..3; if x { skip; }").unwrap()).is_err());
+        assert!(compile(&parse("var x: int 0..3; while x + 1 { skip; }").unwrap()).is_err());
+        assert!(compile(&parse("x := 1;").unwrap()).is_err());
+    }
+
+    #[test]
+    fn empty_program_halts_immediately() {
+        let c = compile(&parse("var x: bool;").unwrap()).unwrap();
+        assert_eq!(c.entry, c.exit);
+        let e = env(&[("x", Val::Bool(true))]);
+        let s0 = c.initial_state(&e).unwrap();
+        assert_eq!(c.run_to_halt(&s0, 10).unwrap(), s0);
+    }
+
+    #[test]
+    fn infinite_loop_exhausts_fuel() {
+        let c = compile(&parse("var b: bool; while true { skip; }").unwrap()).unwrap();
+        let e = env(&[("b", Val::Bool(false))]);
+        let s0 = c.initial_state(&e).unwrap();
+        assert!(matches!(c.run_to_halt(&s0, 25), Err(LangError::OutOfFuel)));
+    }
+}

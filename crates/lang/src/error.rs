@@ -1,0 +1,95 @@
+//! Errors for the language front end and compiler.
+
+use std::fmt;
+
+/// Errors from lexing, parsing, type checking or compiling programs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LangError {
+    /// A lexical error at a source position.
+    Lex {
+        /// Source line, 1-based.
+        line: u32,
+        /// Source column, 1-based.
+        col: u32,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A parse error at a source position.
+    Parse {
+        /// Source line, 1-based.
+        line: u32,
+        /// Source column, 1-based.
+        col: u32,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A semantic error (undeclared variable, type mismatch, …).
+    Semantic(String),
+    /// An error bubbled up from the core model.
+    Core(sd_core::Error),
+    /// Program execution exhausted its fuel (a `while` did not terminate
+    /// within the step budget).
+    OutOfFuel,
+}
+
+impl LangError {
+    /// Builds a lexical error.
+    pub fn lex(line: u32, col: u32, msg: impl Into<String>) -> LangError {
+        LangError::Lex {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+
+    /// Builds a parse error.
+    pub fn parse(line: u32, col: u32, msg: impl Into<String>) -> LangError {
+        LangError::Parse {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { line, col, msg } => write!(f, "lex error at {line}:{col}: {msg}"),
+            LangError::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            LangError::Semantic(msg) => write!(f, "semantic error: {msg}"),
+            LangError::Core(e) => write!(f, "core error: {e}"),
+            LangError::OutOfFuel => write!(f, "execution exceeded its fuel budget"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+impl From<sd_core::Error> for LangError {
+    fn from(e: sd_core::Error) -> LangError {
+        LangError::Core(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = core::result::Result<T, LangError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_positions() {
+        let e = LangError::parse(3, 7, "expected `;`");
+        assert_eq!(e.to_string(), "parse error at 3:7: expected `;`");
+    }
+
+    #[test]
+    fn core_errors_convert() {
+        let e: LangError = sd_core::Error::DivisionByZero.into();
+        assert!(e.to_string().contains("division by zero"));
+    }
+}

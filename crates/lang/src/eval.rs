@@ -1,0 +1,264 @@
+//! Direct big-step interpreter for programs.
+//!
+//! Used for differential testing: running a program directly must agree
+//! with compiling it to a pc-guarded computational system and driving that
+//! system to its halt state.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{BinOp, Expr, Program, Stmt, Type};
+use crate::error::{LangError, Result};
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Val {
+    /// A boolean.
+    Bool(bool),
+    /// An integer.
+    Int(i64),
+}
+
+impl Val {
+    fn as_bool(self) -> Result<bool> {
+        match self {
+            Val::Bool(b) => Ok(b),
+            Val::Int(_) => Err(LangError::Semantic("expected bool, found int".into())),
+        }
+    }
+
+    fn as_int(self) -> Result<i64> {
+        match self {
+            Val::Int(i) => Ok(i),
+            Val::Bool(_) => Err(LangError::Semantic("expected int, found bool".into())),
+        }
+    }
+}
+
+/// A variable environment.
+pub type Env = BTreeMap<String, Val>;
+
+/// Evaluates an expression in an environment.
+pub fn eval_expr(e: &Expr, env: &Env) -> Result<Val> {
+    match e {
+        Expr::Int(i) => Ok(Val::Int(*i)),
+        Expr::Bool(b) => Ok(Val::Bool(*b)),
+        Expr::Var(v) => env
+            .get(v)
+            .copied()
+            .ok_or_else(|| LangError::Semantic(format!("undeclared variable `{v}`"))),
+        Expr::Neg(e) => Ok(Val::Int(-eval_expr(e, env)?.as_int()?)),
+        Expr::Not(e) => Ok(Val::Bool(!eval_expr(e, env)?.as_bool()?)),
+        Expr::Bin(op, l, r) => {
+            match op {
+                BinOp::And => {
+                    return Ok(Val::Bool(
+                        eval_expr(l, env)?.as_bool()? && eval_expr(r, env)?.as_bool()?,
+                    ))
+                }
+                BinOp::Or => {
+                    return Ok(Val::Bool(
+                        eval_expr(l, env)?.as_bool()? || eval_expr(r, env)?.as_bool()?,
+                    ))
+                }
+                _ => {}
+            }
+            let lv = eval_expr(l, env)?;
+            let rv = eval_expr(r, env)?;
+            match op {
+                BinOp::Eq => Ok(Val::Bool(lv == rv)),
+                BinOp::Ne => Ok(Val::Bool(lv != rv)),
+                BinOp::Lt => Ok(Val::Bool(lv.as_int()? < rv.as_int()?)),
+                BinOp::Le => Ok(Val::Bool(lv.as_int()? <= rv.as_int()?)),
+                BinOp::Gt => Ok(Val::Bool(lv.as_int()? > rv.as_int()?)),
+                BinOp::Ge => Ok(Val::Bool(lv.as_int()? >= rv.as_int()?)),
+                BinOp::Add => Ok(Val::Int(lv.as_int()?.wrapping_add(rv.as_int()?))),
+                BinOp::Sub => Ok(Val::Int(lv.as_int()?.wrapping_sub(rv.as_int()?))),
+                BinOp::Mul => Ok(Val::Int(lv.as_int()?.wrapping_mul(rv.as_int()?))),
+                BinOp::Div => {
+                    let d = rv.as_int()?;
+                    if d == 0 {
+                        return Err(LangError::Core(sd_core::Error::DivisionByZero));
+                    }
+                    Ok(Val::Int(lv.as_int()?.div_euclid(d)))
+                }
+                BinOp::Mod => {
+                    let d = rv.as_int()?;
+                    if d == 0 {
+                        return Err(LangError::Core(sd_core::Error::DivisionByZero));
+                    }
+                    Ok(Val::Int(lv.as_int()?.rem_euclid(d)))
+                }
+                BinOp::And | BinOp::Or => unreachable!("handled above"),
+            }
+        }
+    }
+}
+
+/// Whether an assignment should take effect: `Ok(true)` in range,
+/// `Ok(false)` when the value leaves the declared range (the assignment
+/// sticks — same semantics as the compiled system), `Err` on type errors.
+fn check_domain(p: &Program, var: &str, v: Val) -> Result<bool> {
+    match (p.decl(var), v) {
+        (Some(Type::Bool), Val::Bool(_)) => Ok(true),
+        (Some(Type::Int { lo, hi }), Val::Int(i)) => Ok(lo <= i && i <= hi),
+        (Some(_), _) => Err(LangError::Semantic(format!(
+            "type mismatch assigning to `{var}`"
+        ))),
+        (None, _) => Err(LangError::Semantic(format!("undeclared variable `{var}`"))),
+    }
+}
+
+fn exec_block(p: &Program, stmts: &[Stmt], env: &mut Env, fuel: &mut u64) -> Result<()> {
+    for s in stmts {
+        if *fuel == 0 {
+            return Err(LangError::OutOfFuel);
+        }
+        *fuel -= 1;
+        match s {
+            Stmt::Skip => {}
+            Stmt::Assign(x, e) => {
+                let v = eval_expr(e, env)?;
+                if check_domain(p, x, v)? {
+                    env.insert(x.clone(), v);
+                }
+            }
+            Stmt::If(g, t, els) => {
+                if eval_expr(g, env)?.as_bool()? {
+                    exec_block(p, t, env, fuel)?;
+                } else {
+                    exec_block(p, els, env, fuel)?;
+                }
+            }
+            Stmt::While(g, b) => {
+                while eval_expr(g, env)?.as_bool()? {
+                    if *fuel == 0 {
+                        return Err(LangError::OutOfFuel);
+                    }
+                    *fuel -= 1;
+                    exec_block(p, b, env, fuel)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs a program to completion from an initial environment.
+///
+/// The environment must assign every declared variable a value of its
+/// declared type. `fuel` bounds the number of executed statements so
+/// non-terminating loops are reported as [`LangError::OutOfFuel`].
+pub fn run(p: &Program, init: &Env, fuel: u64) -> Result<Env> {
+    for (name, ty) in &p.decls {
+        match (init.get(name), ty) {
+            (Some(Val::Bool(_)), Type::Bool) => {}
+            (Some(Val::Int(i)), Type::Int { lo, hi }) if lo <= i && i <= hi => {}
+            (Some(_), _) => {
+                return Err(LangError::Semantic(format!(
+                    "initial value for `{name}` has the wrong type or is out of range"
+                )))
+            }
+            (None, _) => {
+                return Err(LangError::Semantic(format!(
+                    "missing initial value for `{name}`"
+                )))
+            }
+        }
+    }
+    let mut env = init.clone();
+    let mut fuel = fuel;
+    exec_block(p, &p.body, &mut env, &mut fuel)?;
+    Ok(env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn env(pairs: &[(&str, Val)]) -> Env {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn straight_line() {
+        let p = parse("var x: int 0..10; var y: int 0..10; x := 3; y := x + 4;").unwrap();
+        let out = run(&p, &env(&[("x", Val::Int(0)), ("y", Val::Int(0))]), 100).unwrap();
+        assert_eq!(out["y"], Val::Int(7));
+    }
+
+    #[test]
+    fn branching() {
+        let p =
+            parse("var q: int 0..15; var t: bool; if q > 10 { t := true; } else { t := false; }")
+                .unwrap();
+        let lo = run(&p, &env(&[("q", Val::Int(3)), ("t", Val::Bool(true))]), 100).unwrap();
+        assert_eq!(lo["t"], Val::Bool(false));
+        let hi = run(
+            &p,
+            &env(&[("q", Val::Int(12)), ("t", Val::Bool(false))]),
+            100,
+        )
+        .unwrap();
+        assert_eq!(hi["t"], Val::Bool(true));
+    }
+
+    #[test]
+    fn while_loop_and_fuel() {
+        let p = parse("var x: int 0..10; while x < 10 { x := x + 1; }").unwrap();
+        let out = run(&p, &env(&[("x", Val::Int(2))]), 100).unwrap();
+        assert_eq!(out["x"], Val::Int(10));
+        // Infinite loop exhausts fuel.
+        let bad = parse("var b: bool; while true { skip; }").unwrap();
+        assert!(matches!(
+            run(&bad, &env(&[("b", Val::Bool(false))]), 50),
+            Err(LangError::OutOfFuel)
+        ));
+    }
+
+    #[test]
+    fn out_of_range_assignment_sticks() {
+        // An assignment whose value leaves the declared range is a no-op
+        // (matching the compiled system's total-function semantics).
+        let p = parse("var x: int 0..3; x := x + 1;").unwrap();
+        let r = run(&p, &env(&[("x", Val::Int(3))]), 10).unwrap();
+        assert_eq!(r["x"], Val::Int(3));
+        let ok = run(&p, &env(&[("x", Val::Int(2))]), 10).unwrap();
+        assert_eq!(ok["x"], Val::Int(3));
+    }
+
+    #[test]
+    fn type_mismatch_assignment_is_an_error() {
+        let p = parse("var x: int 0..3; x := true;").unwrap();
+        assert!(matches!(
+            run(&p, &env(&[("x", Val::Int(0))]), 10),
+            Err(LangError::Semantic(_))
+        ));
+    }
+
+    #[test]
+    fn initial_env_validated() {
+        let p = parse("var x: int 0..3;").unwrap();
+        assert!(run(&p, &env(&[]), 10).is_err());
+        assert!(run(&p, &env(&[("x", Val::Bool(true))]), 10).is_err());
+        assert!(run(&p, &env(&[("x", Val::Int(9))]), 10).is_err());
+    }
+
+    #[test]
+    fn division_semantics() {
+        let e = crate::parser::parse_expr("(-7) / 2").unwrap();
+        assert_eq!(eval_expr(&e, &Env::new()).unwrap(), Val::Int(-4));
+        let m = crate::parser::parse_expr("(-7) % 2").unwrap();
+        assert_eq!(eval_expr(&m, &Env::new()).unwrap(), Val::Int(1));
+        let z = crate::parser::parse_expr("1 / 0").unwrap();
+        assert!(eval_expr(&z, &Env::new()).is_err());
+    }
+
+    #[test]
+    fn type_errors_in_expressions() {
+        let e = crate::parser::parse_expr("true + 1").unwrap();
+        assert!(eval_expr(&e, &Env::new()).is_err());
+        let e2 = crate::parser::parse_expr("!3").unwrap();
+        assert!(eval_expr(&e2, &Env::new()).is_err());
+    }
+}

@@ -1,0 +1,391 @@
+//! Recursive-descent parser for the mini language.
+//!
+//! Grammar (standard precedence, tightest last):
+//!
+//! ```text
+//! program := decl* stmt*
+//! decl    := "var" ident ":" type ";"
+//! type    := "bool" | "int" int ".." int
+//! stmt    := ident ":=" expr ";"
+//!          | "skip" ";"
+//!          | "if" expr block ("else" block)?
+//!          | "while" expr block
+//! block   := "{" stmt* "}"
+//! expr    := or
+//! or      := and ("||" and)*
+//! and     := cmp ("&&" cmp)*
+//! cmp     := add (("=="|"!="|"<"|"<="|">"|">=") add)?
+//! add     := mul (("+"|"-") mul)*
+//! mul     := unary (("*"|"/"|"%") unary)*
+//! unary   := ("!"|"-") unary | atom
+//! atom    := int | "true" | "false" | ident | "(" expr ")"
+//! ```
+
+use crate::ast::{BinOp, Expr, Program, Stmt, Type};
+use crate::error::{LangError, Result};
+use crate::token::{lex, Spanned, Token};
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos).map(|s| &s.token)
+    }
+
+    fn here(&self) -> (u32, u32) {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or((1, 1), |s| (s.line, s.col))
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LangError {
+        let (line, col) = self.here();
+        LangError::parse(line, col, msg)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<()> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(self.err(format!("expected `{want}`, found `{t}`"))),
+            None => Err(self.err(format!("expected `{want}`, found end of input"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            Some(t) => Err(self.err(format!("expected identifier, found `{t}`"))),
+            None => Err(self.err("expected identifier, found end of input")),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64> {
+        // Allow a leading minus in literal positions (range bounds).
+        let neg = if self.peek() == Some(&Token::Minus) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        match self.peek() {
+            Some(Token::Int(i)) => {
+                let i = *i;
+                self.pos += 1;
+                Ok(if neg { -i } else { i })
+            }
+            Some(t) => Err(self.err(format!("expected integer, found `{t}`"))),
+            None => Err(self.err("expected integer, found end of input")),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program> {
+        let mut decls = Vec::new();
+        while self.peek() == Some(&Token::KwVar) {
+            self.pos += 1;
+            let name = self.ident()?;
+            self.expect(&Token::Colon)?;
+            let ty = match self.bump() {
+                Some(Token::KwBool) => Type::Bool,
+                Some(Token::KwInt) => {
+                    let lo = self.int()?;
+                    self.expect(&Token::DotDot)?;
+                    let hi = self.int()?;
+                    if lo > hi {
+                        return Err(self.err(format!("empty int range {lo}..{hi}")));
+                    }
+                    Type::Int { lo, hi }
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected type, found `{}`",
+                        other.map_or("end of input".to_string(), |t| t.to_string())
+                    )))
+                }
+            };
+            self.expect(&Token::Semi)?;
+            if decls.iter().any(|(n, _)| n == &name) {
+                return Err(LangError::Semantic(format!(
+                    "variable `{name}` declared twice"
+                )));
+            }
+            decls.push((name, ty));
+        }
+        let mut body = Vec::new();
+        while self.peek().is_some() {
+            body.push(self.stmt()?);
+        }
+        Ok(Program { decls, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>> {
+        self.expect(&Token::LBrace)?;
+        let mut out = Vec::new();
+        while self.peek() != Some(&Token::RBrace) {
+            if self.peek().is_none() {
+                return Err(self.err("unclosed block"));
+            }
+            out.push(self.stmt()?);
+        }
+        self.expect(&Token::RBrace)?;
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        match self.peek() {
+            Some(Token::KwSkip) => {
+                self.pos += 1;
+                self.expect(&Token::Semi)?;
+                Ok(Stmt::Skip)
+            }
+            Some(Token::KwIf) => {
+                self.pos += 1;
+                let guard = self.expr()?;
+                let then = self.block()?;
+                let els = if self.peek() == Some(&Token::KwElse) {
+                    self.pos += 1;
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(guard, then, els))
+            }
+            Some(Token::KwWhile) => {
+                self.pos += 1;
+                let guard = self.expr()?;
+                let body = self.block()?;
+                Ok(Stmt::While(guard, body))
+            }
+            Some(Token::Ident(_)) => {
+                let name = self.ident()?;
+                self.expect(&Token::Assign)?;
+                let e = self.expr()?;
+                self.expect(&Token::Semi)?;
+                Ok(Stmt::Assign(name, e))
+            }
+            Some(t) => Err(self.err(format!("expected statement, found `{t}`"))),
+            None => Err(self.err("expected statement, found end of input")),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or()
+    }
+
+    fn or(&mut self) -> Result<Expr> {
+        let mut lhs = self.and()?;
+        while self.peek() == Some(&Token::OrOr) {
+            self.pos += 1;
+            let rhs = self.and()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Expr> {
+        let mut lhs = self.cmp()?;
+        while self.peek() == Some(&Token::AndAnd) {
+            self.pos += 1;
+            let rhs = self.cmp()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp(&mut self) -> Result<Expr> {
+        let lhs = self.add()?;
+        let op = match self.peek() {
+            Some(Token::EqEq) => Some(BinOp::Eq),
+            Some(Token::NotEq) => Some(BinOp::Ne),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::Le) => Some(BinOp::Le),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.add()?;
+            Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.mul()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        match self.peek() {
+            Some(Token::Bang) => {
+                self.pos += 1;
+                Ok(Expr::Not(Box::new(self.unary()?)))
+            }
+            Some(Token::Minus) => {
+                self.pos += 1;
+                Ok(Expr::Neg(Box::new(self.unary()?)))
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr> {
+        match self.bump() {
+            Some(Token::Int(i)) => Ok(Expr::Int(i)),
+            Some(Token::KwTrue) => Ok(Expr::Bool(true)),
+            Some(Token::KwFalse) => Ok(Expr::Bool(false)),
+            Some(Token::Ident(s)) => Ok(Expr::Var(s)),
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(t) => {
+                self.pos -= 1;
+                Err(self.err(format!("expected expression, found `{t}`")))
+            }
+            None => Err(self.err("expected expression, found end of input")),
+        }
+    }
+}
+
+/// Parses a complete program from source text.
+///
+/// # Examples
+///
+/// ```
+/// let p = sd_lang::parse("var x: int 0..7; x := x + 1;")?;
+/// assert_eq!(p.decls.len(), 1);
+/// assert_eq!(p.atomic_count(), 1);
+/// # Ok::<(), sd_lang::LangError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Program> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+/// Parses a single expression (used for assertions).
+pub fn parse_expr(src: &str) -> Result<Expr> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.expr()?;
+    if p.peek().is_some() {
+        return Err(p.err("trailing input after expression"));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_sec_6_5_program() {
+        // The paper's first §6.5 flowchart, as structured source.
+        let src = "\
+var alpha: int 0..1;
+var beta: int 0..1;
+var q: int 0..15;
+var t: bool;
+if q > 10 { t := true; } else { t := false; }
+if t { beta := alpha; }
+";
+        let p = parse(src).unwrap();
+        assert_eq!(p.decls.len(), 4);
+        assert_eq!(p.body.len(), 2);
+        assert_eq!(p.atomic_count(), 2);
+    }
+
+    #[test]
+    fn precedence() {
+        let e = parse_expr("a + b * c == d && !e || f").unwrap();
+        // ((((a + (b*c)) == d) && (!e)) || f)
+        assert_eq!(e.to_string(), "((((a + (b * c)) == d) && !(e)) || f)");
+    }
+
+    #[test]
+    fn parse_while_and_skip() {
+        let p = parse("var x: int 0..3; while x < 3 { x := x + 1; } skip;").unwrap();
+        assert!(matches!(p.body[0], Stmt::While(..)));
+        assert!(matches!(p.body[1], Stmt::Skip));
+    }
+
+    #[test]
+    fn negative_range_bounds() {
+        let p = parse("var x: int -3..3;").unwrap();
+        assert_eq!(p.decl("x"), Some(Type::Int { lo: -3, hi: 3 }));
+    }
+
+    #[test]
+    fn error_messages_have_positions() {
+        let e = parse("var x: int 0..3;\nx = 1;").unwrap_err();
+        assert!(e.to_string().contains("2:3"), "{e}");
+        let e2 = parse("if true {").unwrap_err();
+        assert!(e2.to_string().contains("unclosed block"));
+        let e3 = parse("var x: bool; var x: bool;").unwrap_err();
+        assert!(e3.to_string().contains("declared twice"));
+        let e4 = parse("var x: int 5..1;").unwrap_err();
+        assert!(e4.to_string().contains("empty int range"));
+    }
+
+    #[test]
+    fn parse_expr_rejects_trailing_tokens() {
+        assert!(parse_expr("a + b ;").is_err());
+        assert!(parse_expr("(a").is_err());
+    }
+
+    #[test]
+    fn unary_chains() {
+        let e = parse_expr("!!a").unwrap();
+        assert_eq!(e.to_string(), "!(!(a))");
+        let e2 = parse_expr("--3").unwrap();
+        assert_eq!(e2.to_string(), "-(-(3))");
+    }
+}

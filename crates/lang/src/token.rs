@@ -1,0 +1,389 @@
+//! Tokens and lexer for the mini language.
+
+use std::fmt;
+
+use crate::error::{LangError, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Integer literal.
+    Int(i64),
+    /// Identifier or keyword-candidate.
+    Ident(String),
+    /// `var`
+    KwVar,
+    /// `bool`
+    KwBool,
+    /// `int`
+    KwInt,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `skip`
+    KwSkip,
+    /// `true`
+    KwTrue,
+    /// `false`
+    KwFalse,
+    /// `:=`
+    Assign,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `..`
+    DotDot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::KwVar => write!(f, "var"),
+            Token::KwBool => write!(f, "bool"),
+            Token::KwInt => write!(f, "int"),
+            Token::KwIf => write!(f, "if"),
+            Token::KwElse => write!(f, "else"),
+            Token::KwWhile => write!(f, "while"),
+            Token::KwSkip => write!(f, "skip"),
+            Token::KwTrue => write!(f, "true"),
+            Token::KwFalse => write!(f, "false"),
+            Token::Assign => write!(f, ":="),
+            Token::Colon => write!(f, ":"),
+            Token::Semi => write!(f, ";"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::DotDot => write!(f, ".."),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::EqEq => write!(f, "=="),
+            Token::NotEq => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+            Token::Bang => write!(f, "!"),
+        }
+    }
+}
+
+/// A token together with its source line/column (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Source line, 1-based.
+    pub line: u32,
+    /// Source column, 1-based.
+    pub col: u32,
+}
+
+/// Lexes a complete source string.
+pub fn lex(src: &str) -> Result<Vec<Spanned>> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else if c.is_some() {
+                col += 1;
+            }
+            c
+        }};
+    }
+    loop {
+        // Skip whitespace and `//` comments.
+        loop {
+            match chars.peek() {
+                Some(c) if c.is_whitespace() => {
+                    bump!();
+                }
+                Some('/') => {
+                    let mut ahead = chars.clone();
+                    ahead.next();
+                    if ahead.peek() == Some(&'/') {
+                        while let Some(&c) = chars.peek() {
+                            if c == '\n' {
+                                break;
+                            }
+                            bump!();
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let (tline, tcol) = (line, col);
+        let Some(&c) = chars.peek() else { break };
+        let token = match c {
+            '0'..='9' => {
+                let mut n: i64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(v) = d.to_digit(10) {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(v as i64))
+                            .ok_or_else(|| LangError::lex(tline, tcol, "integer overflow"))?;
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                Token::Int(n)
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        s.push(d);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                match s.as_str() {
+                    "var" => Token::KwVar,
+                    "bool" => Token::KwBool,
+                    "int" => Token::KwInt,
+                    "if" => Token::KwIf,
+                    "else" => Token::KwElse,
+                    "while" => Token::KwWhile,
+                    "skip" => Token::KwSkip,
+                    "true" => Token::KwTrue,
+                    "false" => Token::KwFalse,
+                    _ => Token::Ident(s),
+                }
+            }
+            _ => {
+                bump!();
+                match c {
+                    ':' => {
+                        if chars.peek() == Some(&'=') {
+                            bump!();
+                            Token::Assign
+                        } else {
+                            Token::Colon
+                        }
+                    }
+                    ';' => Token::Semi,
+                    '{' => Token::LBrace,
+                    '}' => Token::RBrace,
+                    '(' => Token::LParen,
+                    ')' => Token::RParen,
+                    '.' => {
+                        if chars.peek() == Some(&'.') {
+                            bump!();
+                            Token::DotDot
+                        } else {
+                            return Err(LangError::lex(tline, tcol, "expected `..`"));
+                        }
+                    }
+                    '+' => Token::Plus,
+                    '-' => Token::Minus,
+                    '*' => Token::Star,
+                    '/' => Token::Slash,
+                    '%' => Token::Percent,
+                    '=' => {
+                        if chars.peek() == Some(&'=') {
+                            bump!();
+                            Token::EqEq
+                        } else {
+                            return Err(LangError::lex(
+                                tline,
+                                tcol,
+                                "single `=`; use `:=` for assignment or `==` for equality",
+                            ));
+                        }
+                    }
+                    '!' => {
+                        if chars.peek() == Some(&'=') {
+                            bump!();
+                            Token::NotEq
+                        } else {
+                            Token::Bang
+                        }
+                    }
+                    '<' => {
+                        if chars.peek() == Some(&'=') {
+                            bump!();
+                            Token::Le
+                        } else {
+                            Token::Lt
+                        }
+                    }
+                    '>' => {
+                        if chars.peek() == Some(&'=') {
+                            bump!();
+                            Token::Ge
+                        } else {
+                            Token::Gt
+                        }
+                    }
+                    '&' => {
+                        if chars.peek() == Some(&'&') {
+                            bump!();
+                            Token::AndAnd
+                        } else {
+                            return Err(LangError::lex(tline, tcol, "expected `&&`"));
+                        }
+                    }
+                    '|' => {
+                        if chars.peek() == Some(&'|') {
+                            bump!();
+                            Token::OrOr
+                        } else {
+                            return Err(LangError::lex(tline, tcol, "expected `||`"));
+                        }
+                    }
+                    other => {
+                        return Err(LangError::lex(
+                            tline,
+                            tcol,
+                            format!("unexpected character `{other}`"),
+                        ))
+                    }
+                }
+            }
+        };
+        out.push(Spanned {
+            token,
+            line: tline,
+            col: tcol,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lex_declaration() {
+        assert_eq!(
+            toks("var x: int 0..7;"),
+            vec![
+                Token::KwVar,
+                Token::Ident("x".into()),
+                Token::Colon,
+                Token::KwInt,
+                Token::Int(0),
+                Token::DotDot,
+                Token::Int(7),
+                Token::Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_operators() {
+        assert_eq!(
+            toks("a := b + 1 <= 2 && !c || d != e"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Assign,
+                Token::Ident("b".into()),
+                Token::Plus,
+                Token::Int(1),
+                Token::Le,
+                Token::Int(2),
+                Token::AndAnd,
+                Token::Bang,
+                Token::Ident("c".into()),
+                Token::OrOr,
+                Token::Ident("d".into()),
+                Token::NotEq,
+                Token::Ident("e".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_comments_and_positions() {
+        let spanned = lex("// header\nx := 1;").unwrap();
+        assert_eq!(spanned[0].token, Token::Ident("x".into()));
+        assert_eq!((spanned[0].line, spanned[0].col), (2, 1));
+        assert_eq!(spanned[1].token, Token::Assign);
+        assert_eq!((spanned[1].line, spanned[1].col), (2, 3));
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("a = b").is_err());
+        assert!(lex("a & b").is_err());
+        assert!(lex("a # b").is_err());
+        assert!(lex("x.y").is_err());
+        assert!(lex("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(
+            toks("iffy while0"),
+            vec![Token::Ident("iffy".into()), Token::Ident("while0".into()),]
+        );
+        assert_eq!(
+            toks("true false skip"),
+            vec![Token::KwTrue, Token::KwFalse, Token::KwSkip]
+        );
+    }
+}

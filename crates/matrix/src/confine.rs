@@ -1,0 +1,204 @@
+//! The Confinement Problem on access-matrix systems (§3.4, §7.5).
+//!
+//! `Confined(x)` marks objects holding information that must stay private;
+//! `Spy(x)` marks objects it must never reach. A solution is an initial
+//! constraint on the protection state under which no confined object's
+//! variety can be transmitted to any spy. §7.5 sketches *declassification*:
+//! the problem statement is weakened so flows originating from explicitly
+//! declassified objects are permitted.
+
+use sd_core::problem::Problem;
+use sd_core::{ObjSet, Phi, Result, Rights};
+
+use crate::model::Matrix;
+
+/// A confinement policy over a matrix system.
+#[derive(Debug, Clone)]
+pub struct Confinement {
+    /// Objects whose initial contents are confined.
+    pub confined: ObjSet,
+    /// Objects that must not receive confined information.
+    pub spies: ObjSet,
+    /// Confined objects whose information is declassified (§7.5): flows
+    /// from these to spies are tolerated.
+    pub declassified: ObjSet,
+}
+
+impl Confinement {
+    /// Builds a policy from file names.
+    pub fn new(m: &Matrix, confined: &[&str], spies: &[&str]) -> Result<Confinement> {
+        Ok(Confinement {
+            confined: confined.iter().map(|f| m.file(f)).collect::<Result<_>>()?,
+            spies: spies.iter().map(|f| m.file(f)).collect::<Result<_>>()?,
+            declassified: ObjSet::empty(),
+        })
+    }
+
+    /// Declassifies some of the confined files (§7.5).
+    pub fn declassify(mut self, m: &Matrix, files: &[&str]) -> Result<Confinement> {
+        self.declassified = files.iter().map(|f| m.file(f)).collect::<Result<_>>()?;
+        Ok(self)
+    }
+
+    /// The §3.4 problem statement:
+    /// `X(φ) ≡ ∀α, β: α ▷φ β ⊃ (Confined(α) ⊃ ¬Spy(β))`, weakened to
+    /// permit flows from declassified objects.
+    pub fn problem(&self) -> Problem {
+        let confined = self.confined.clone();
+        let spies = self.spies.clone();
+        let declassified = self.declassified.clone();
+        Problem::allowed_paths("confinement", move |a, b| {
+            !(confined.contains(a) && spies.contains(b)) || declassified.contains(a)
+        })
+    }
+
+    /// Decides whether φ solves the policy on `m` (exact).
+    pub fn is_solution(&self, m: &Matrix, phi: &Phi) -> Result<bool> {
+        self.problem().is_solution(&m.system, phi)
+    }
+
+    /// Checks a single confined-file → spy pair under φ — cheaper than the
+    /// full policy check on large matrices.
+    pub fn is_solution_for_pair(
+        &self,
+        m: &Matrix,
+        phi: &Phi,
+        confined: &str,
+        spy: &str,
+    ) -> Result<bool> {
+        let a = ObjSet::singleton(m.file(confined)?);
+        let b = m.file(spy)?;
+        Ok(sd_core::reach::depends(&m.system, phi, &a, b)?.is_none())
+    }
+}
+
+/// A canonical solution shape: no subject may read any confined file.
+///
+/// Blocking all reads of confined data removes every outgoing path, so it
+/// always solves the (undeclassified) policy; it is usually far from
+/// maximal.
+pub fn no_reads_of_confined(m: &Matrix, confined: &[&str]) -> Result<Phi> {
+    let mut phi = Phi::True;
+    for s in m.subjects().to_vec() {
+        for f in confined {
+            phi = phi.and(m.cell_lacks(&s, f, Rights::R)?);
+        }
+    }
+    Ok(phi)
+}
+
+/// Another canonical shape: no subject may write any spy file.
+pub fn no_writes_to_spies(m: &Matrix, spies: &[&str]) -> Result<Phi> {
+    let mut phi = Phi::True;
+    for s in m.subjects().to_vec() {
+        for f in spies {
+            phi = phi.and(m.cell_lacks(&s, f, Rights::W)?);
+        }
+    }
+    Ok(phi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MatrixBuilder;
+
+    /// One subject, a confined file, a scratch file, and a spy file.
+    fn setup() -> (Matrix, Confinement) {
+        let m = MatrixBuilder::new()
+            .subject("u")
+            .file("secret", 2)
+            .file("scratch", 2)
+            .file("spy", 2)
+            .build()
+            .unwrap();
+        let c = Confinement::new(&m, &["secret"], &["spy"]).unwrap();
+        (m, c)
+    }
+
+    #[test]
+    fn unconstrained_matrix_leaks() {
+        let (m, c) = setup();
+        assert!(!c.is_solution(&m, &Phi::True).unwrap());
+        // With a single subject and static rights, cutting either endpoint
+        // of every path (reads of the secret, or writes to the spy) *is* a
+        // solution — the disjunction blocks each initial state one way or
+        // the other.
+        let endpoint_cut = m
+            .cell_lacks("u", "spy", Rights::W)
+            .unwrap()
+            .or(m.cell_lacks("u", "secret", Rights::R).unwrap());
+        assert!(c.is_solution(&m, &endpoint_cut).unwrap());
+    }
+
+    #[test]
+    fn confederate_launders_the_leak_sec_1_4() {
+        // The §1.4 scenario: forbidding *Cohen* from writing the Salary
+        // file is an enforcement solution, not an information solution —
+        // a confederate copies it the rest of the way. Here u can reach
+        // scratch, v can move scratch → spy; blocking only u's writes to
+        // the spy leaves the two-hop channel open.
+        let m = MatrixBuilder::new()
+            .subject("u")
+            .subject("v")
+            .file("secret", 2)
+            .file("scratch", 2)
+            .file("spy", 2)
+            .build()
+            .unwrap();
+        let c = Confinement::new(&m, &["secret"], &["spy"]).unwrap();
+        let phi = m.cell_lacks("u", "spy", Rights::W).unwrap();
+        assert!(!c.is_solution_for_pair(&m, &phi, "secret", "spy").unwrap());
+    }
+
+    #[test]
+    fn canonical_solutions_work() {
+        let (m, c) = setup();
+        let phi_r = no_reads_of_confined(&m, &["secret"]).unwrap();
+        assert!(c.is_solution(&m, &phi_r).unwrap());
+        let phi_w = no_writes_to_spies(&m, &["spy"]).unwrap();
+        assert!(c.is_solution(&m, &phi_w).unwrap());
+    }
+
+    #[test]
+    fn worth_comparison_of_solutions() {
+        // Blocking reads of the secret permits scratch → spy traffic;
+        // blocking writes to the spy kills it. The first solution is
+        // strictly worthier (§3.6).
+        let (m, _c) = setup();
+        let phi_r = no_reads_of_confined(&m, &["secret"]).unwrap();
+        let phi_w = no_writes_to_spies(&m, &["spy"]).unwrap();
+        let w_r = sd_core::worth::worth(&m.system, &phi_r).unwrap();
+        let w_w = sd_core::worth::worth(&m.system, &phi_w).unwrap();
+        let scratch = m.file("scratch").unwrap();
+        let spy = m.file("spy").unwrap();
+        assert!(w_r.permits(scratch, spy));
+        assert!(!w_w.permits(scratch, spy));
+        assert!(w_r.partial_cmp(&w_w).is_none() || w_w.le(&w_r));
+    }
+
+    #[test]
+    fn declassification_weakens_the_problem() {
+        let (m, c) = setup();
+        // tt does not solve the strict problem…
+        assert!(!c.is_solution(&m, &Phi::True).unwrap());
+        // …but after declassifying the secret, it does.
+        let weak = c.declassify(&m, &["secret"]).unwrap();
+        assert!(weak.is_solution(&m, &Phi::True).unwrap());
+    }
+
+    #[test]
+    fn spies_may_still_talk_to_others() {
+        // A solution must not forbid unrelated paths: under the
+        // no-reads-of-confined solution, scratch → spy remains possible.
+        let (m, _) = setup();
+        let phi = no_reads_of_confined(&m, &["secret"]).unwrap();
+        let scratch = m.file("scratch").unwrap();
+        let spy = m.file("spy").unwrap();
+        assert!(
+            sd_core::reach::depends(&m.system, &phi, &ObjSet::singleton(scratch), spy)
+                .unwrap()
+                .is_some()
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Access-matrix protection substrate for the Strong Dependency
+//! reproduction.
+//!
+//! §1.3 of the paper models protection with a Lampson-style matrix of
+//! rights; §§3.4–3.6 use small matrix systems for the Confinement and
+//! Security problems and for comparing solutions. This crate builds those
+//! systems as [`sd_core::System`]s in which matrix cells are first-class
+//! objects:
+//!
+//! - [`model`]: the builder — subjects, files, guarded copy operations,
+//!   optional grant/revoke and §7.3-style dynamic reclassification;
+//! - [`confine`]: the Confinement Problem, with §7.5 declassification;
+//! - [`security`]: the Security Problem, proved via Corollary 4-3 for
+//!   fixed rights and shown leaky for content-dependent reclassification.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod confine;
+pub mod model;
+pub mod security;
+
+pub use crate::confine::{no_reads_of_confined, no_writes_to_spies, Confinement};
+pub use crate::model::{cell_name, Matrix, MatrixBuilder};
+pub use crate::security::SecurityPolicy;

@@ -1,0 +1,438 @@
+//! The access-matrix model (§1.3).
+//!
+//! Protection state is a matrix of rights: before an operation touches an
+//! object, the matrix entry for (executor, object) is checked. Matrix
+//! entries are themselves first-class objects of the computational system
+//! — `w ∈ <Cohen, Salary>(σ)` is a test on the value of the cell object —
+//! so constraints φ can speak about the protection state exactly as the
+//! paper's examples do (§3.5, §3.6), and rights-mutating operations
+//! (grant, revoke, dynamic reclassification) are ordinary operations whose
+//! information-flow consequences the core machinery analyzes.
+
+use sd_core::{Cmd, Domain, Error, Expr, ObjId, Op, Result, Rights, System, Universe, Value};
+
+/// Builder for access-matrix systems.
+#[derive(Debug, Clone)]
+pub struct MatrixBuilder {
+    subjects: Vec<String>,
+    files: Vec<(String, i64)>,
+    grant: bool,
+    revoke: bool,
+    dynamic_classification: Vec<(String, i64)>,
+}
+
+impl Default for MatrixBuilder {
+    fn default() -> Self {
+        MatrixBuilder::new()
+    }
+}
+
+/// A built access-matrix system plus name-resolution helpers.
+#[derive(Debug, Clone)]
+pub struct Matrix {
+    /// The underlying computational system.
+    pub system: System,
+    subjects: Vec<String>,
+    files: Vec<String>,
+}
+
+/// The name of the matrix cell object for `(subject, target)`.
+pub fn cell_name(subject: &str, target: &str) -> String {
+    format!("<{subject},{target}>")
+}
+
+impl MatrixBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> MatrixBuilder {
+        MatrixBuilder {
+            subjects: Vec::new(),
+            files: Vec::new(),
+            grant: false,
+            revoke: false,
+            dynamic_classification: Vec::new(),
+        }
+    }
+
+    /// Adds a subject.
+    #[must_use]
+    pub fn subject(mut self, name: &str) -> MatrixBuilder {
+        self.subjects.push(name.to_string());
+        self
+    }
+
+    /// Adds a file with `k` possible contents.
+    #[must_use]
+    pub fn file(mut self, name: &str, k: i64) -> MatrixBuilder {
+        self.files.push((name.to_string(), k));
+        self
+    }
+
+    /// Adds `grant_read(x, y, f)` operations: a subject holding `r` and
+    /// `g` on a file may confer `r` on another subject.
+    #[must_use]
+    pub fn with_grant(mut self) -> MatrixBuilder {
+        self.grant = true;
+        self
+    }
+
+    /// Adds `revoke_read(x, y, f)` operations: a subject holding `g` on a
+    /// file may remove another subject's `r`.
+    #[must_use]
+    pub fn with_revoke(mut self) -> MatrixBuilder {
+        self.revoke = true;
+        self
+    }
+
+    /// Adds a §7.3-style *dynamic classification* operation for `file`:
+    /// when the file's content reaches `threshold`, every subject's read
+    /// right on it is revoked. The Adept-50 discussion warns this creates
+    /// covert paths — the checkers confirm it.
+    #[must_use]
+    pub fn with_dynamic_classification(mut self, file: &str, threshold: i64) -> MatrixBuilder {
+        self.dynamic_classification
+            .push((file.to_string(), threshold));
+        self
+    }
+
+    /// Builds the system: one content object per file, a diagonal cell
+    /// `<x,x>` per subject (subject right only) and a cell `<x,f>` per
+    /// subject-file pair (r/w/g combinations), plus `copy` operations for
+    /// every subject and ordered file pair, and any requested
+    /// rights-mutating operations.
+    pub fn build(self) -> Result<Matrix> {
+        if self.subjects.is_empty() || self.files.is_empty() {
+            return Err(Error::Invalid(
+                "matrix needs at least one subject and one file".into(),
+            ));
+        }
+        let mut objects: Vec<(String, Domain)> = Vec::new();
+        for (f, k) in &self.files {
+            objects.push((f.clone(), Domain::int_range(0, k - 1)?));
+        }
+        let diag_domain = Domain::new(vec![Value::Rights(Rights::NONE), Value::Rights(Rights::S)])?;
+        let file_cell_values: Vec<Value> = {
+            // All subsets of {r, w}, plus g-variants only when some
+            // operation actually manipulates grant rights — smaller cell
+            // domains keep the state space tractable.
+            let with_g = self.grant || self.revoke;
+            let top = if with_g { 8u8 } else { 4u8 };
+            let mut v = Vec::new();
+            for mask in 0..top {
+                let mut r = Rights::NONE;
+                if mask & 1 != 0 {
+                    r = r.union(Rights::R);
+                }
+                if mask & 2 != 0 {
+                    r = r.union(Rights::W);
+                }
+                if mask & 4 != 0 {
+                    r = r.union(Rights::G);
+                }
+                v.push(Value::Rights(r));
+            }
+            v
+        };
+        for s in &self.subjects {
+            objects.push((cell_name(s, s), diag_domain.clone()));
+            for (f, _) in &self.files {
+                objects.push((cell_name(s, f), Domain::new(file_cell_values.clone())?));
+            }
+        }
+        let u = Universe::new(objects)?;
+
+        let cell = |s: &str, t: &str| u.obj(&cell_name(s, t));
+        let mut ops: Vec<Op> = Vec::new();
+        // copy(x, fdst, fsrc): §1.3's copy operation.
+        for x in &self.subjects {
+            for (dst, _) in &self.files {
+                for (src, _) in &self.files {
+                    if dst == src {
+                        continue;
+                    }
+                    let guard = Expr::var(cell(x, x)?)
+                        .has_rights(Rights::S)
+                        .and(Expr::var(cell(x, src)?).has_rights(Rights::R))
+                        .and(Expr::var(cell(x, dst)?).has_rights(Rights::W));
+                    let dst_obj = u.obj(dst)?;
+                    let src_obj = u.obj(src)?;
+                    // The copy truncates into the destination's domain so
+                    // files of different sizes compose.
+                    let dst_size = u.domain(dst_obj).size() as i64;
+                    ops.push(Op::from_cmd(
+                        format!("copy({x},{dst},{src})"),
+                        Cmd::when(
+                            guard,
+                            Cmd::assign(dst_obj, Expr::var(src_obj).modulo(Expr::int(dst_size))),
+                        ),
+                    ));
+                }
+            }
+        }
+        if self.grant {
+            for x in &self.subjects {
+                for y in &self.subjects {
+                    if x == y {
+                        continue;
+                    }
+                    for (f, _) in &self.files {
+                        let guard = Expr::var(cell(x, x)?)
+                            .has_rights(Rights::S)
+                            .and(Expr::var(cell(x, f)?).has_rights(Rights::R.union(Rights::G)));
+                        let target = cell(y, f)?;
+                        ops.push(Op::native(
+                            format!("grant_read({x},{y},{f})"),
+                            grant_op(guard, target, true),
+                        ));
+                    }
+                }
+            }
+        }
+        if self.revoke {
+            for x in &self.subjects {
+                for y in &self.subjects {
+                    if x == y {
+                        continue;
+                    }
+                    for (f, _) in &self.files {
+                        let guard = Expr::var(cell(x, x)?)
+                            .has_rights(Rights::S)
+                            .and(Expr::var(cell(x, f)?).has_rights(Rights::G));
+                        let target = cell(y, f)?;
+                        ops.push(Op::native(
+                            format!("revoke_read({x},{y},{f})"),
+                            grant_op(guard, target, false),
+                        ));
+                    }
+                }
+            }
+        }
+        for (f, threshold) in &self.dynamic_classification {
+            let file_obj = u.obj(f)?;
+            let guard = Expr::var(file_obj).ge(Expr::int(*threshold));
+            let targets: Vec<ObjId> = self
+                .subjects
+                .iter()
+                .map(|s| cell(s, f))
+                .collect::<Result<_>>()?;
+            ops.push(Op::native(
+                format!("classify({f})"),
+                classify_op(guard, targets),
+            ));
+        }
+        Ok(Matrix {
+            system: System::new(u, ops),
+            subjects: self.subjects,
+            files: self.files.into_iter().map(|(f, _)| f).collect(),
+        })
+    }
+}
+
+/// Native op: when `guard` holds, add (or remove) `r` in the target cell.
+fn grant_op(
+    guard: Expr,
+    target: ObjId,
+    add: bool,
+) -> impl Fn(&Universe, &sd_core::State) -> Result<sd_core::State> + Send + Sync {
+    move |u, sigma| {
+        let mut out = sigma.clone();
+        if guard.eval_bool(u, sigma)? {
+            let cur = sigma
+                .value(u, target)
+                .as_rights()
+                .ok_or(Error::Invalid("cell is not rights-valued".into()))?;
+            let new = if add {
+                cur.union(Rights::R)
+            } else {
+                cur.minus(Rights::R)
+            };
+            let idx = u
+                .domain(target)
+                .index_of(&Value::Rights(new))
+                .ok_or(Error::OutOfDomain {
+                    object: u.name(target).to_string(),
+                    value: Value::Rights(new),
+                })?;
+            out.set_index(target, idx);
+        }
+        Ok(out)
+    }
+}
+
+/// Native op: when `guard` holds, strip `r` from every target cell.
+fn classify_op(
+    guard: Expr,
+    targets: Vec<ObjId>,
+) -> impl Fn(&Universe, &sd_core::State) -> Result<sd_core::State> + Send + Sync {
+    move |u, sigma| {
+        let mut out = sigma.clone();
+        if guard.eval_bool(u, sigma)? {
+            for &t in &targets {
+                let cur = sigma
+                    .value(u, t)
+                    .as_rights()
+                    .ok_or(Error::Invalid("cell is not rights-valued".into()))?;
+                let new = cur.minus(Rights::R);
+                let idx = u
+                    .domain(t)
+                    .index_of(&Value::Rights(new))
+                    .ok_or(Error::OutOfDomain {
+                        object: u.name(t).to_string(),
+                        value: Value::Rights(new),
+                    })?;
+                out.set_index(t, idx);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Matrix {
+    /// The subjects, in declaration order.
+    pub fn subjects(&self) -> &[String] {
+        &self.subjects
+    }
+
+    /// The files, in declaration order.
+    pub fn files(&self) -> &[String] {
+        &self.files
+    }
+
+    /// The content object of a file.
+    pub fn file(&self, name: &str) -> Result<ObjId> {
+        self.system.universe().obj(name)
+    }
+
+    /// The matrix cell object for `(subject, target)`.
+    pub fn cell(&self, subject: &str, target: &str) -> Result<ObjId> {
+        self.system.universe().obj(&cell_name(subject, target))
+    }
+
+    /// The constraint "`subject` holds exactly `rights` on `target`".
+    pub fn cell_is(&self, subject: &str, target: &str, rights: Rights) -> Result<sd_core::Phi> {
+        let c = self.cell(subject, target)?;
+        Ok(sd_core::Phi::expr(
+            Expr::var(c).eq(Expr::Const(Value::Rights(rights))),
+        ))
+    }
+
+    /// The constraint "`subject` holds at least `rights` on `target`".
+    pub fn cell_has(&self, subject: &str, target: &str, rights: Rights) -> Result<sd_core::Phi> {
+        let c = self.cell(subject, target)?;
+        Ok(sd_core::Phi::expr(Expr::var(c).has_rights(rights)))
+    }
+
+    /// The constraint "`subject` lacks all of `rights` on `target`".
+    pub fn cell_lacks(&self, subject: &str, target: &str, rights: Rights) -> Result<sd_core::Phi> {
+        let c = self.cell(subject, target)?;
+        Ok(sd_core::Phi::expr(Expr::var(c).has_rights(rights).not()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sd_core::{ObjSet, Phi};
+
+    fn small() -> Matrix {
+        MatrixBuilder::new()
+            .subject("u")
+            .file("a", 2)
+            .file("b", 2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_and_validates() {
+        let m = small();
+        m.system.validate().unwrap();
+        // 2 contents × diag (2) × two cells (4 each): 2·2·2·4·4 = 128.
+        assert_eq!(m.system.state_count().unwrap(), 128);
+        assert_eq!(m.system.num_ops(), 2); // copy(u,a,b), copy(u,b,a).
+    }
+
+    #[test]
+    fn copy_respects_rights() {
+        let m = small();
+        let a = m.file("a").unwrap();
+        let b = m.file("b").unwrap();
+        // Unconstrained, a ▷ b (some state grants the rights).
+        assert!(
+            sd_core::reach::depends(&m.system, &Phi::True, &ObjSet::singleton(a), b)
+                .unwrap()
+                .is_some()
+        );
+        // If u cannot read a, a's content cannot reach b.
+        let phi = m.cell_lacks("u", "a", Rights::R).unwrap();
+        assert!(
+            sd_core::reach::depends(&m.system, &phi, &ObjSet::singleton(a), b)
+                .unwrap()
+                .is_none()
+        );
+        // Likewise if u is not a subject at all.
+        let phi2 = m.cell_lacks("u", "u", Rights::S).unwrap();
+        assert!(
+            sd_core::reach::depends(&m.system, &phi2, &ObjSet::singleton(a), b)
+                .unwrap()
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn grant_creates_rights_paths() {
+        let m = MatrixBuilder::new()
+            .subject("u")
+            .subject("v")
+            .file("a", 2)
+            .with_grant()
+            .build()
+            .unwrap();
+        m.system.validate().unwrap();
+        // v's read-right cell depends on u's grant-right cell (u granting
+        // confers r on v).
+        let from = m.cell("u", "a").unwrap();
+        let to = m.cell("v", "a").unwrap();
+        assert!(
+            sd_core::reach::depends(&m.system, &Phi::True, &ObjSet::singleton(from), to)
+                .unwrap()
+                .is_some()
+        );
+    }
+
+    #[test]
+    fn dynamic_classification_is_covert_path() {
+        // §7.3: reclassifying a file based on its content transmits the
+        // content into the protection state.
+        let m = MatrixBuilder::new()
+            .subject("u")
+            .file("a", 2)
+            .with_dynamic_classification("a", 1)
+            .build()
+            .unwrap();
+        m.system.validate().unwrap();
+        let a = m.file("a").unwrap();
+        let cell = m.cell("u", "a").unwrap();
+        assert!(
+            sd_core::reach::depends(&m.system, &Phi::True, &ObjSet::singleton(a), cell)
+                .unwrap()
+                .is_some(),
+            "content flows into the access matrix"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_empty() {
+        assert!(MatrixBuilder::new().build().is_err());
+        assert!(MatrixBuilder::new().subject("u").build().is_err());
+    }
+
+    #[test]
+    fn name_helpers_resolve() {
+        let m = small();
+        assert!(m.cell("u", "a").is_ok());
+        assert!(m.cell("u", "u").is_ok());
+        assert!(m.cell("v", "a").is_err());
+        assert_eq!(m.subjects(), &["u".to_string()]);
+        assert_eq!(m.files(), &["a".to_string(), "b".to_string()]);
+    }
+}

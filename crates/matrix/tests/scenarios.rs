@@ -1,0 +1,178 @@
+//! End-to-end protection scenarios on the access-matrix substrate.
+
+use sd_core::{ObjSet, Phi, Rights};
+use sd_matrix::{Confinement, MatrixBuilder, SecurityPolicy};
+
+/// Grant rights propagate read capability: with grant ops, denying v any
+/// *initial* read right is not enough — u can confer it.
+#[test]
+fn grant_defeats_static_denial() {
+    let m = MatrixBuilder::new()
+        .subject("u")
+        .subject("v")
+        .file("a", 2)
+        .with_grant()
+        .build()
+        .unwrap();
+    m.system.validate().unwrap();
+    let a = m.file("a").unwrap();
+    let va = m.cell("v", "a").unwrap();
+
+    // φ: v initially lacks r on a (but everything else is free).
+    let phi = m.cell_lacks("v", "a", Rights::R).unwrap();
+    // The file's content still reaches v's cell? No — contents flow to
+    // contents; what grant adds is a *protection-state* path:
+    // u's cell ▷ v's cell.
+    let ua = m.cell("u", "a").unwrap();
+    assert!(
+        sd_core::reach::depends(&m.system, &phi, &ObjSet::singleton(ua), va)
+            .unwrap()
+            .is_some(),
+        "grant transmits u's rights into v's cell"
+    );
+    // Without grant ops, cells are frozen and no such path exists.
+    let frozen = MatrixBuilder::new()
+        .subject("u")
+        .subject("v")
+        .file("a", 2)
+        .build()
+        .unwrap();
+    let fua = frozen.cell("u", "a").unwrap();
+    let fva = frozen.cell("v", "a").unwrap();
+    assert!(
+        sd_core::reach::depends(&frozen.system, &Phi::True, &ObjSet::singleton(fua), fva)
+            .unwrap()
+            .is_none()
+    );
+    let _ = a;
+}
+
+/// Revocation also moves information: whether v lost its right reveals
+/// whether u held g.
+#[test]
+fn revoke_is_a_channel_too() {
+    let m = MatrixBuilder::new()
+        .subject("u")
+        .subject("v")
+        .file("a", 2)
+        .with_revoke()
+        .build()
+        .unwrap();
+    m.system.validate().unwrap();
+    let ua = m.cell("u", "a").unwrap();
+    let va = m.cell("v", "a").unwrap();
+    assert!(
+        sd_core::reach::depends(&m.system, &Phi::True, &ObjSet::singleton(ua), va)
+            .unwrap()
+            .is_some()
+    );
+}
+
+/// Two-subject confinement: the canonical no-reads solution still works
+/// with a second subject, and its worth dominates the no-writes solution.
+#[test]
+fn two_subject_confinement() {
+    let m = MatrixBuilder::new()
+        .subject("u")
+        .subject("v")
+        .file("secret", 2)
+        .file("spy", 2)
+        .build()
+        .unwrap();
+    let policy = Confinement::new(&m, &["secret"], &["spy"]).unwrap();
+    let phi = sd_matrix::no_reads_of_confined(&m, &["secret"]).unwrap();
+    assert!(policy
+        .is_solution_for_pair(&m, &phi, "secret", "spy")
+        .unwrap());
+    // Blocking only one subject's reads is NOT a solution.
+    let weak = m.cell_lacks("u", "secret", Rights::R).unwrap();
+    assert!(!policy
+        .is_solution_for_pair(&m, &weak, "secret", "spy")
+        .unwrap());
+}
+
+/// The secure-configuration proof scales to a 4-level chain and stays in
+/// agreement with the exact checker.
+#[test]
+fn four_level_security_chain() {
+    let m = MatrixBuilder::new()
+        .subject("u")
+        .file("f0", 2)
+        .file("f1", 2)
+        .file("f2", 2)
+        .file("f3", 2)
+        .build()
+        .unwrap();
+    let p = SecurityPolicy::new(&m, &[("f0", 0), ("f1", 1), ("f2", 2), ("f3", 3)], 0).unwrap();
+    let phi = p.secure_configuration(&m).unwrap();
+    let out = p.prove(&m, &phi).unwrap();
+    assert!(out.is_proved(), "{:?}", out.reason());
+    // Spot-check the exact relation on the extreme pair: no f3 → f0.
+    let top = m.file("f3").unwrap();
+    let bottom = m.file("f0").unwrap();
+    assert!(
+        sd_core::reach::depends(&m.system, &phi, &ObjSet::singleton(top), bottom)
+            .unwrap()
+            .is_none()
+    );
+    // Up-flow f0 → f3 is permitted and real.
+    assert!(
+        sd_core::reach::depends(&m.system, &phi, &ObjSet::singleton(bottom), top)
+            .unwrap()
+            .is_some()
+    );
+}
+
+/// Worth of the secure configuration: only up-flows (and self-flows)
+/// survive among file contents.
+#[test]
+fn secure_configuration_worth_is_upward() {
+    let m = MatrixBuilder::new()
+        .subject("u")
+        .file("low", 2)
+        .file("high", 2)
+        .build()
+        .unwrap();
+    let p = SecurityPolicy::new(&m, &[("low", 0), ("high", 1)], 0).unwrap();
+    let phi = p.secure_configuration(&m).unwrap();
+    let w = sd_core::worth::worth(&m.system, &phi).unwrap();
+    let low = m.file("low").unwrap();
+    let high = m.file("high").unwrap();
+    assert!(w.permits(low, high));
+    assert!(!w.permits(high, low));
+    for (a, b) in w.paths() {
+        assert!(
+            p.of(a) <= p.of(b),
+            "worth contains a down-flow {} → {}",
+            m.system.universe().name(a),
+            m.system.universe().name(b)
+        );
+    }
+}
+
+/// The declassification variant composes with canonical solutions: a
+/// partially declassified policy accepts constraints the strict policy
+/// rejects, and both accept the full no-reads lockdown.
+#[test]
+fn partial_declassification() {
+    let m = MatrixBuilder::new()
+        .subject("u")
+        .file("s1", 2)
+        .file("s2", 2)
+        .file("spy", 2)
+        .build()
+        .unwrap();
+    let strict = Confinement::new(&m, &["s1", "s2"], &["spy"]).unwrap();
+    let partial = Confinement::new(&m, &["s1", "s2"], &["spy"])
+        .unwrap()
+        .declassify(&m, &["s1"])
+        .unwrap();
+    // Lock down only s2's reads: fine for the partial policy, not strict.
+    let phi = sd_matrix::no_reads_of_confined(&m, &["s2"]).unwrap();
+    assert!(partial.is_solution(&m, &phi).unwrap());
+    assert!(!strict.is_solution(&m, &phi).unwrap());
+    // Full lockdown satisfies both.
+    let full = sd_matrix::no_reads_of_confined(&m, &["s1", "s2"]).unwrap();
+    assert!(strict.is_solution(&m, &full).unwrap());
+    assert!(partial.is_solution(&m, &full).unwrap());
+}

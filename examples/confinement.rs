@@ -1,0 +1,60 @@
+//! The Confinement Problem (§1.1, §3.4, §7.5) on an access-matrix system.
+//!
+//! A user stores private data in `secret`; `spy` is an output channel the
+//! adversary reads. We ask which initial protection states guarantee that
+//! nothing about `secret` can ever reach `spy`, compare two solutions with
+//! the §3.6 worth measure, and show §7.5-style declassification.
+//!
+//! Run with `cargo run --example confinement`.
+
+use strong_dependency::core::{worth, Phi};
+use strong_dependency::matrix::{
+    no_reads_of_confined, no_writes_to_spies, Confinement, MatrixBuilder,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let m = MatrixBuilder::new()
+        .subject("u")
+        .file("secret", 2)
+        .file("scratch", 2)
+        .file("spy", 2)
+        .build()?;
+    println!("{}", m.system);
+
+    let policy = Confinement::new(&m, &["secret"], &["spy"])?;
+
+    // Unconstrained, the matrix leaks (some initial state grants the
+    // rights for secret → spy, possibly via scratch).
+    println!(
+        "unconstrained matrix solves confinement: {}",
+        policy.is_solution(&m, &Phi::True)?
+    );
+
+    // Two solutions with different worths.
+    let phi_reads = no_reads_of_confined(&m, &["secret"])?;
+    let phi_writes = no_writes_to_spies(&m, &["spy"])?;
+    for (name, phi) in [
+        ("no reads of secret", &phi_reads),
+        ("no writes to spy", &phi_writes),
+    ] {
+        println!(
+            "\nφ = {name}: solves confinement = {}",
+            policy.is_solution(&m, phi)?
+        );
+        let w = worth::worth(&m.system, phi)?;
+        println!("  worth ({} paths): {}", w.len(), w.display(&m.system));
+    }
+    println!(
+        "\n§3.6 comparison: `no reads of secret` preserves the scratch → spy \
+         path that `no writes to spy` destroys — equal protection, more worth."
+    );
+
+    // §7.5: declassify the secret; then even the unconstrained matrix is
+    // acceptable under the weakened problem.
+    let weak = Confinement::new(&m, &["secret"], &["spy"])?.declassify(&m, &["secret"])?;
+    println!(
+        "\nafter declassifying `secret`: unconstrained matrix acceptable = {}",
+        weak.is_solution(&m, &Phi::True)?
+    );
+    Ok(())
+}

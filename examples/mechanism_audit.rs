@@ -1,0 +1,126 @@
+//! Auditing a mechanism for covert paths (§7.3).
+//!
+//! A mechanism presents users with an augmented system implemented on a
+//! base system. [Rotenberg 73] warns that mechanisms can *add* covert
+//! information paths even while removing overt ones. This example builds
+//! two mechanisms over the same base — a scrubbing virtual machine (safe)
+//! and a caching one (leaky) — and audits both with the strong-dependency
+//! machinery.
+//!
+//! Run with `cargo run --example mechanism_audit`.
+
+use std::sync::Arc;
+
+use strong_dependency::core::mechanism::{added_paths, removed_paths, Mechanism};
+use strong_dependency::core::{Cmd, Domain, Expr, History, Op, OpId, Phi, System, Universe};
+
+fn universe() -> Universe {
+    Universe::new(vec![
+        ("alpha".into(), Domain::int_range(0, 1).unwrap()),
+        ("beta".into(), Domain::int_range(0, 1).unwrap()),
+        ("tmp".into(), Domain::int_range(0, 1).unwrap()),
+    ])
+    .unwrap()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Base system: stash α into tmp, emit tmp into β, scrub tmp.
+    let ub = universe();
+    let (a, b, tmp) = (ub.obj("alpha")?, ub.obj("beta")?, ub.obj("tmp")?);
+    let base = System::new(
+        ub,
+        vec![
+            Op::from_cmd("stash", Cmd::assign(tmp, Expr::var(a))),
+            Op::from_cmd("emit", Cmd::assign(b, Expr::var(tmp))),
+            Op::from_cmd("scrub", Cmd::assign(tmp, Expr::int(0))),
+        ],
+    );
+
+    // Mechanism 1: a single user-visible "copy" that always scrubs its
+    // temporary — realized as stash · emit · scrub.
+    let ua = universe();
+    let (aa, ab, atmp) = (ua.obj("alpha")?, ua.obj("beta")?, ua.obj("tmp")?);
+    let augmented = System::new(
+        ua,
+        vec![Op::from_cmd(
+            "copy_scrubbed",
+            Cmd::Seq(vec![
+                Cmd::assign(atmp, Expr::var(aa)),
+                Cmd::assign(ab, Expr::var(atmp)),
+                Cmd::assign(atmp, Expr::int(0)),
+            ]),
+        )],
+    );
+    let scrubber = Mechanism {
+        augmented,
+        base: base.clone(),
+        project: Arc::new(|_aug, _base, sigma| Ok(sigma.clone())),
+        realize: vec![History::from_ops(vec![OpId(0), OpId(1), OpId(2)])],
+        visible: vec![(aa, a), (ab, b), (atmp, tmp)],
+    };
+    println!("scrubbing mechanism:");
+    println!(
+        "  simulation checks passed: {}",
+        scrubber.check_simulation()?
+    );
+    let added = added_paths(&scrubber, &Phi::True, &Phi::True)?;
+    let removed = removed_paths(&scrubber, &Phi::True, &Phi::True)?;
+    println!("  covert paths added: {}", added.len());
+    println!(
+        "  paths removed: {} (e.g. α → tmp no longer lingers)",
+        removed.len()
+    );
+
+    // Mechanism 2: a "caching" copy over a *direct-copy* base (no tmp
+    // traffic at all in the base: copy writes β, reset clears tmp). The
+    // augmented copy additionally records whether α was 1 into tmp — a
+    // cache-hit flag observable by later readers. The simulation check
+    // catches that the base cannot realize the probe write, and the path
+    // audit names the covert channel.
+    let ub2 = universe();
+    let (b2a, b2b, b2tmp) = (ub2.obj("alpha")?, ub2.obj("beta")?, ub2.obj("tmp")?);
+    let direct_base = System::new(
+        ub2,
+        vec![
+            Op::from_cmd("copy", Cmd::assign(b2b, Expr::var(b2a))),
+            Op::from_cmd("reset", Cmd::assign(b2tmp, Expr::int(0))),
+        ],
+    );
+    let uc = universe();
+    let (ca, cb, ctmp) = (uc.obj("alpha")?, uc.obj("beta")?, uc.obj("tmp")?);
+    let caching = System::new(
+        uc,
+        vec![
+            Op::from_cmd(
+                "copy_cached",
+                Cmd::Seq(vec![
+                    Cmd::assign(cb, Expr::var(ca)),
+                    Cmd::If(
+                        Expr::var(ca).eq(Expr::int(1)),
+                        Box::new(Cmd::assign(ctmp, Expr::int(1))),
+                        Box::new(Cmd::assign(ctmp, Expr::int(0))),
+                    ),
+                ]),
+            ),
+            Op::from_cmd("reset", Cmd::assign(ctmp, Expr::int(0))),
+        ],
+    );
+    let leaky = Mechanism {
+        augmented: caching,
+        base: direct_base,
+        project: Arc::new(|_aug, _base, sigma| Ok(sigma.clone())),
+        // Claimed realization: the plain base copy — a lie the checker
+        // exposes (the base cannot reproduce the probe write).
+        realize: vec![History::single(OpId(0)), History::single(OpId(1))],
+        visible: vec![(ca, b2a), (cb, b2b), (ctmp, b2tmp)],
+    };
+    println!("\ncaching mechanism:");
+    match leaky.check_simulation() {
+        Ok(_) => println!("  simulation unexpectedly passed"),
+        Err(e) => println!("  simulation FAILS: {e}"),
+    }
+    let added = added_paths(&leaky, &Phi::True, &Phi::True)?;
+    println!("  covert paths added (visible-object indices): {added:?}");
+    println!("  index 0 = α, index 2 = tmp: the cache flag leaks α — the Rotenberg hazard.");
+    Ok(())
+}

@@ -1,0 +1,94 @@
+#![allow(dead_code)]
+
+//! Shared generators for the integration test suites.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use strong_dependency::core::{Cmd, Domain, Expr, ObjSet, Op, Phi, System, Universe};
+
+/// A small random guarded-copy system (closed over its domains by
+/// construction): `n` objects over `0..k`, `ops` operations of the shape
+/// `if x ◇ c then y ← z or y ← c`.
+pub fn random_system(n: usize, k: i64, ops: usize, seed: u64) -> System {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let objects = (0..n)
+        .map(|i| {
+            (
+                format!("x{i}"),
+                Domain::int_range(0, k - 1).expect("non-empty range"),
+            )
+        })
+        .collect();
+    let u = Universe::new(objects).expect("distinct names");
+    let ids: Vec<_> = u.objects().collect();
+    let mut op_list = Vec::with_capacity(ops);
+    for i in 0..ops {
+        let guard_var = ids[rng.gen_range(0..n)];
+        let c = rng.gen_range(0..k);
+        let dst = ids[rng.gen_range(0..n)];
+        let guard = match rng.gen_range(0..3) {
+            0 => Expr::var(guard_var).lt(Expr::int(c)),
+            1 => Expr::var(guard_var).eq(Expr::int(c)),
+            _ => Expr::var(guard_var).ge(Expr::int(c)),
+        };
+        let rhs = if rng.gen_bool(0.7) {
+            Expr::var(ids[rng.gen_range(0..n)])
+        } else {
+            Expr::int(rng.gen_range(0..k))
+        };
+        op_list.push(Op::from_cmd(
+            format!("g{i}"),
+            Cmd::when(guard, Cmd::assign(dst, rhs)),
+        ));
+    }
+    System::new(u, op_list)
+}
+
+/// A random *autonomous* constraint: a conjunction of per-object value
+/// subsets (each object restricted independently).
+pub fn random_autonomous_phi(sys: &System, seed: u64) -> Phi {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let u = sys.universe();
+    let mut phi = Phi::True;
+    for obj in u.objects() {
+        let size = u.domain(obj).size() as i64;
+        if rng.gen_bool(0.5) {
+            // Restrict this object to a random nonempty prefix.
+            let hi = rng.gen_range(1..=size);
+            phi = phi.and(Phi::expr(Expr::var(obj).lt(Expr::int(hi))));
+        }
+    }
+    phi
+}
+
+/// A random (possibly non-autonomous) constraint.
+pub fn random_phi(sys: &System, seed: u64) -> Phi {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let u = sys.universe();
+    let ids: Vec<_> = u.objects().collect();
+    if ids.len() >= 2 && rng.gen_bool(0.5) {
+        let a = ids[rng.gen_range(0..ids.len())];
+        let b = ids[rng.gen_range(0..ids.len())];
+        let base = Phi::expr(Expr::var(a).le(Expr::var(b)));
+        if rng.gen_bool(0.5) {
+            base
+        } else {
+            base.and(random_autonomous_phi(sys, seed.wrapping_add(1)))
+        }
+    } else {
+        random_autonomous_phi(sys, seed)
+    }
+}
+
+/// A random source set and sink over the system's objects.
+pub fn random_src_sink(sys: &System, seed: u64) -> (ObjSet, strong_dependency::core::ObjId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ids: Vec<_> = sys.universe().objects().collect();
+    let size = rng.gen_range(1..=2.min(ids.len()));
+    let mut src = ObjSet::empty();
+    while src.len() < size {
+        src.insert(ids[rng.gen_range(0..ids.len())]);
+    }
+    let sink = ids[rng.gen_range(0..ids.len())];
+    (src, sink)
+}

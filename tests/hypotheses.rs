@@ -1,0 +1,141 @@
+//! Integration tests for the paper's two hypotheses (§5.2, §5.3), linking
+//! the qualitative formalism (sd-core) with the quantitative one (sd-info).
+//!
+//! - **Strong Dependency Hypothesis**: `A ▷φH β` implies information can
+//!   be transmitted — quantitatively, positive mutual information under
+//!   the uniform distribution over Sat(φ).
+//! - **Relative Autonomy Hypothesis**: for A-autonomous φ, `¬A ▷φH β`
+//!   implies *no* information is transmitted — zero mutual information.
+//!   For non-autonomous φ the converse genuinely fails (§5.2's α1 = α2
+//!   example), and we check that failure too.
+
+mod common;
+
+use common::{random_autonomous_phi, random_phi, random_src_sink, random_system};
+use strong_dependency::core::{classify, depend, examples, history, Expr, ObjSet, Phi};
+use strong_dependency::info::{bits_equivocation, Dist};
+
+const EPS: f64 = 1e-9;
+
+/// SD hypothesis: a strong dependency always carries positive mutual
+/// information under the uniform distribution over Sat(φ).
+#[test]
+fn strong_dependency_implies_positive_bits() {
+    let mut hits = 0;
+    for seed in 0..10u64 {
+        let sys = random_system(3, 3, 3, seed);
+        let phi = random_phi(&sys, seed);
+        if phi.sat(&sys).unwrap().is_empty() {
+            continue;
+        }
+        let dist = Dist::uniform(&sys, &phi).unwrap();
+        let (a, beta) = random_src_sink(&sys, seed + 40);
+        for h in history::histories_up_to(sys.num_ops(), 2) {
+            let dep = depend::strongly_depends_after(&sys, &phi, &a, beta, &h)
+                .unwrap()
+                .is_some();
+            if dep {
+                hits += 1;
+                let bits = bits_equivocation(&sys, &dist, &a, beta, &h).unwrap();
+                assert!(
+                    bits > EPS,
+                    "seed {seed}, H = {h}: dependency with zero bits"
+                );
+            }
+        }
+    }
+    assert!(hits > 0, "the sweep should hit some dependencies");
+}
+
+/// Relative autonomy: for *A-autonomous* φ (uniform over Sat), zero
+/// strong dependency means zero transmitted bits, and vice versa.
+#[test]
+fn relative_autonomy_hypothesis_equivalence() {
+    let mut checked = 0;
+    for seed in 0..10u64 {
+        let sys = random_system(3, 3, 3, seed);
+        let phi = random_autonomous_phi(&sys, seed);
+        if phi.sat(&sys).unwrap().is_empty() {
+            continue;
+        }
+        let (a, beta) = random_src_sink(&sys, seed + 90);
+        if !classify::is_autonomous_relative(&sys, &phi, &a).unwrap() {
+            continue;
+        }
+        let dist = Dist::uniform(&sys, &phi).unwrap();
+        for h in history::histories_up_to(sys.num_ops(), 2) {
+            checked += 1;
+            let dep = depend::strongly_depends_after(&sys, &phi, &a, beta, &h)
+                .unwrap()
+                .is_some();
+            let bits = bits_equivocation(&sys, &dist, &a, beta, &h).unwrap();
+            assert_eq!(
+                dep,
+                bits > EPS,
+                "seed {seed}, H = {h}: SD = {dep} but bits = {bits}"
+            );
+        }
+    }
+    assert!(checked > 50, "the sweep should check many histories");
+}
+
+/// §5.2's counterexample to the converse: under φ: α1 = α2 (non-
+/// autonomous relative to {α1}), ¬α1 ▷φ β even though β ← α1 plainly
+/// transmits — and the mutual information confirms the transmission.
+#[test]
+fn converse_fails_for_non_autonomous_phi() {
+    let sys = examples::alpha12_copy_system(4).unwrap();
+    let u = sys.universe();
+    let a1 = u.obj("a1").unwrap();
+    let a2 = u.obj("a2").unwrap();
+    let beta = u.obj("beta").unwrap();
+    let phi = Phi::expr(Expr::var(a1).eq(Expr::var(a2)));
+    assert!(!classify::is_autonomous_relative(&sys, &phi, &ObjSet::singleton(a1)).unwrap());
+
+    let h = strong_dependency::core::History::single(strong_dependency::core::OpId(0));
+    // Qualitatively: no strong dependency from α1 alone…
+    let dep = depend::strongly_depends_after(&sys, &phi, &ObjSet::singleton(a1), beta, &h).unwrap();
+    assert!(dep.is_none());
+    // …but the mutual information is 2 full bits: the observer of β
+    // learns α1 exactly (the "spread variety" of §5.2).
+    let dist = Dist::uniform(&sys, &phi).unwrap();
+    let bits = bits_equivocation(&sys, &dist, &ObjSet::singleton(a1), beta, &h).unwrap();
+    assert!((bits - 2.0).abs() < 1e-9, "expected 2 bits, got {bits}");
+    // Treating the clump {α1, α2} as one source restores agreement
+    // (Relative Autonomy Hypothesis).
+    let pair = ObjSet::from_iter([a1, a2]);
+    assert!(classify::is_autonomous_relative(&sys, &phi, &pair).unwrap());
+    let dep_pair = depend::strongly_depends_after(&sys, &phi, &pair, beta, &h).unwrap();
+    assert!(dep_pair.is_some());
+}
+
+/// The time-only observer never sees more than the known-history
+/// observer, across random systems.
+#[test]
+fn observation_power_is_monotone() {
+    for seed in 0..6u64 {
+        let sys = random_system(3, 2, 2, seed);
+        let phi = random_phi(&sys, seed);
+        if phi.sat(&sys).unwrap().is_empty() {
+            continue;
+        }
+        let (a, beta) = random_src_sink(&sys, seed + 7);
+        let weak = strong_dependency::core::observe::depends_observed(
+            &sys,
+            &phi,
+            &a,
+            beta,
+            strong_dependency::core::observe::Observer::TimeOnly,
+        )
+        .unwrap();
+        let strong = strong_dependency::core::observe::depends_observed(
+            &sys,
+            &phi,
+            &a,
+            beta,
+            strong_dependency::core::observe::Observer::KnownHistory,
+        )
+        .unwrap();
+        assert!(!weak || strong, "seed {seed}: time-only saw more");
+    }
+}

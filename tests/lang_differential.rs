@@ -1,0 +1,160 @@
+//! Differential testing: the direct interpreter and the pc-compiled
+//! computational system must agree on every program and input.
+
+use proptest::prelude::*;
+use strong_dependency::lang::{compile, eval, parse, Program, Stmt, Type, Val};
+
+/// Strategy: small expressions over `n` int variables in `0..k`.
+fn arb_expr(n: usize, k: i64) -> impl Strategy<Value = strong_dependency::lang::Expr> {
+    use strong_dependency::lang::ast::BinOp;
+    use strong_dependency::lang::Expr;
+    let leaf = prop_oneof![
+        (0..k).prop_map(Expr::Int),
+        (0..n).prop_map(|i| Expr::Var(format!("v{i}"))),
+    ];
+    leaf.prop_recursive(2, 8, 2, move |inner| {
+        (inner.clone(), inner).prop_flat_map(|(a, b)| {
+            prop_oneof![
+                Just(Expr::Bin(
+                    BinOp::Add,
+                    Box::new(a.clone()),
+                    Box::new(b.clone())
+                )),
+                Just(Expr::Bin(
+                    BinOp::Sub,
+                    Box::new(a.clone()),
+                    Box::new(b.clone())
+                )),
+                Just(Expr::Bin(BinOp::Mul, Box::new(a), Box::new(b))),
+            ]
+        })
+    })
+}
+
+/// Strategy: boolean guards comparing an int expression to a constant.
+fn arb_guard(n: usize, k: i64) -> impl Strategy<Value = strong_dependency::lang::Expr> {
+    use strong_dependency::lang::ast::BinOp;
+    use strong_dependency::lang::Expr;
+    (arb_expr(n, k), 0..k, 0..4u8).prop_map(|(e, c, which)| {
+        let op = match which {
+            0 => BinOp::Lt,
+            1 => BinOp::Le,
+            2 => BinOp::Eq,
+            _ => BinOp::Gt,
+        };
+        Expr::Bin(op, Box::new(e), Box::new(Expr::Int(c)))
+    })
+}
+
+fn arb_stmt(n: usize, k: i64, depth: u32) -> BoxedStrategy<Stmt> {
+    let assign = (0..n, arb_expr(n, k)).prop_map(|(i, e)| Stmt::Assign(format!("v{i}"), e));
+    if depth == 0 {
+        prop_oneof![assign, Just(Stmt::Skip)].boxed()
+    } else {
+        let inner = move || prop::collection::vec(arb_stmt(n, k, depth - 1), 0..3);
+        prop_oneof![
+            4 => (0..n, arb_expr(n, k)).prop_map(|(i, e)| Stmt::Assign(format!("v{i}"), e)),
+            1 => Just(Stmt::Skip),
+            2 => (arb_guard(n, k), inner(), inner())
+                .prop_map(|(g, t, e)| Stmt::If(g, t, e)),
+            1 => (arb_guard(n, k), inner())
+                .prop_map(|(g, b)| Stmt::While(g, b)),
+        ]
+        .boxed()
+    }
+}
+
+fn arb_program(n: usize, k: i64) -> impl Strategy<Value = Program> {
+    prop::collection::vec(arb_stmt(n, k, 2), 1..6).prop_map(move |body| Program {
+        decls: (0..n)
+            .map(|i| (format!("v{i}"), Type::Int { lo: 0, hi: k - 1 }))
+            .collect(),
+        body,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The interpreter and the compiled system agree (including on
+    /// non-termination, modelled as running out of fuel).
+    #[test]
+    fn interpreter_matches_compiled(
+        p in arb_program(3, 3),
+        init in prop::collection::vec(0i64..3, 3),
+    ) {
+        let env: eval::Env = init
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (format!("v{i}"), Val::Int(v)))
+            .collect();
+        let direct = eval::run(&p, &env, 500);
+        let compiled = compile(&p).expect("generated programs type-check");
+        let s0 = compiled.initial_state(&env).expect("valid initial env");
+        let machine = compiled.run_to_halt(&s0, 2_000);
+        match (direct, machine) {
+            (Ok(de), Ok(end)) => {
+                for i in 0..3 {
+                    let name = format!("v{i}");
+                    prop_assert_eq!(
+                        compiled.read(&end, &name).unwrap(),
+                        de[&name],
+                        "disagreement on {}", name
+                    );
+                }
+            }
+            (Err(strong_dependency::lang::LangError::OutOfFuel), Err(_)) => {}
+            (d, m) => prop_assert!(
+                false,
+                "one side failed: direct = {:?}, machine = {:?}", d.is_ok(), m.is_ok()
+            ),
+        }
+    }
+
+    /// Pretty-printing a parsed program re-parses to the same AST.
+    #[test]
+    fn display_parse_roundtrip(p in arb_program(3, 3)) {
+        let printed = p.to_string();
+        let reparsed = parse(&printed).expect("printed programs parse");
+        prop_assert_eq!(&p.decls, &reparsed.decls);
+        // Statement bodies may differ in parenthesisation only; rendering
+        // again must be a fixed point.
+        prop_assert_eq!(printed, reparsed.to_string());
+    }
+}
+
+#[test]
+fn interpreter_matches_compiled_on_pathological_programs() {
+    // Hand-picked cases that stress the compilation: overflow sticking,
+    // nested while, if-in-while.
+    for src in [
+        "var a: int 0..3; var b: int 0..3; a := a + b; b := a * a;",
+        "var a: int 0..3; var b: int 0..3; while a < 3 { a := a + 1; if a == 2 { b := 3; } }",
+        "var a: int 0..3; var b: int 0..3; while a > 0 { while b > 0 { b := b - 1; } a := a - 1; }",
+        "var a: int 0..3; var b: int 0..3; if a < b { a := b; } else { b := a; } a := a + a;",
+    ] {
+        let p = parse(src).unwrap();
+        let compiled = compile(&p).unwrap();
+        compiled.system.validate().unwrap();
+        for a in 0..4i64 {
+            for b in 0..4i64 {
+                let env: eval::Env = [
+                    ("a".to_string(), Val::Int(a)),
+                    ("b".to_string(), Val::Int(b)),
+                ]
+                .into_iter()
+                .collect();
+                let direct = eval::run(&p, &env, 500).unwrap();
+                let s0 = compiled.initial_state(&env).unwrap();
+                let end = compiled.run_to_halt(&s0, 2_000).unwrap();
+                for name in ["a", "b"] {
+                    assert_eq!(
+                        compiled.read(&end, name).unwrap(),
+                        direct[name],
+                        "src = {src}, a = {a}, b = {b}, var = {name}"
+                    );
+                }
+            }
+        }
+    }
+}
