@@ -1,30 +1,77 @@
 //! P2: scaling of the exact pair-reachability decision procedure
-//! (`A ▷φ β`) in the size of the state space.
+//! (`A ▷φ β`) in the size of the state space — interpreted reference
+//! vs the compiled transition-table engine, side by side.
+//!
+//! Two families:
+//!
+//! - `random`: small guarded-copy systems under φ = True; shows the
+//!   crossover region where compilation overhead still matters.
+//! - `pointer_chain`: the §4.3 record/pointer system with the chain
+//!   pinned by φ (see [`sd_bench::workloads::pointer_chain_pinned`]).
+//!   `o0 ▷φ o(n−1)` is false there, so every engine must exhaust the
+//!   reachable pair space — the headline throughput comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sd_bench::workloads::random_system;
-use sd_core::{ObjSet, Phi};
+use sd_bench::workloads::{pointer_chain_pinned, random_system};
+use sd_core::{CompileBudget, Engine, ObjSet, Phi};
 
-fn bench_pair_bfs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pair_bfs");
+const ENGINES: [(Engine, &str); 2] = [
+    (Engine::Interpreted, "interpreted"),
+    (Engine::Auto, "compiled"),
+];
+
+fn bench_random(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pair_bfs/random");
+    let budget = CompileBudget::default();
     for (n, k) in [(4usize, 2i64), (5, 2), (6, 2), (4, 3), (5, 3)] {
         let sys = random_system(n, k, 4, 7).expect("workload builds");
         let u = sys.universe();
         let a = ObjSet::singleton(u.obj("x0").expect("x0 exists"));
         let beta = u.obj(&format!("x{}", n - 1)).expect("last object exists");
         let states = sys.state_count().expect("countable");
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("n{n}_k{k}_{states}states")),
-            &sys,
-            |b, sys| {
-                b.iter(|| {
-                    sd_core::reach::depends(sys, &Phi::True, &a, beta).expect("depends succeeds")
-                })
-            },
-        );
+        for (engine, name) in ENGINES {
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("n{n}_k{k}_{states}states")),
+                &sys,
+                |b, sys| {
+                    b.iter(|| {
+                        sd_core::reach::depends_with(sys, &Phi::True, &a, beta, engine, &budget)
+                            .expect("depends succeeds")
+                    })
+                },
+            );
+        }
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_pair_bfs);
+fn bench_pointer_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pair_bfs/pointer_chain");
+    let budget = CompileBudget::default();
+    // d = 2 scales the chain length; d = 3 deepens the data alphabet,
+    // which decorrelates difference patterns further and pushes the
+    // visited-pairs / reached-states ratio from ~8 to ~81.
+    for (n, d) in [(4usize, 2i64), (5, 2), (6, 2), (6, 3)] {
+        let (sys, phi) = pointer_chain_pinned(n, d).expect("workload builds");
+        let u = sys.universe();
+        let a = ObjSet::singleton(u.obj("o0").expect("o0 exists"));
+        let beta = u.obj(&format!("o{}", n - 1)).expect("last object exists");
+        let states = sys.state_count().expect("countable");
+        for (engine, name) in ENGINES {
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("n{n}_d{d}_{states}states")),
+                &sys,
+                |b, sys| {
+                    b.iter(|| {
+                        sd_core::reach::depends_with(sys, &phi, &a, beta, engine, &budget)
+                            .expect("depends succeeds")
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_random, bench_pointer_chain);
 criterion_main!(benches);

@@ -39,6 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     e17_set_sources()?;
     e18_inferential()?;
     e19_mechanisms()?;
+    p2_pair_bfs()?;
     p3_static_vs_semantic()?;
     println!("\ntotal harness time: {:.2?}", started.elapsed());
     Ok(())
@@ -872,6 +873,114 @@ fn e19_mechanisms() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 /// P3: static Denning baseline vs exact semantics, precision sweep.
+/// P2: interpreted vs compiled pair-BFS engines. Prints the comparison
+/// table and emits `BENCH_pair_bfs.json` (workload parameters, wall
+/// times, visited-pair counts) for the committed record.
+fn p2_pair_bfs() -> Result<(), Box<dyn std::error::Error>> {
+    use sd_core::reach;
+    use sd_core::{CompileBudget, Engine};
+
+    println!("\n== P2: pair-BFS engines — interpreted vs compiled tables ==");
+    let budget = CompileBudget::default();
+
+    // (family, system, φ) — the same workloads as benches/pair_bfs.rs.
+    let mut cases: Vec<(String, sd_core::System, Phi, &str, &str)> = Vec::new();
+    for (n, k) in [(4usize, 2i64), (5, 3)] {
+        cases.push((
+            format!("random n={n} k={k}"),
+            sd_bench::workloads::random_system(n, k, 4, 7)?,
+            Phi::True,
+            "x0",
+            "last",
+        ));
+    }
+    for (n, d) in [(4usize, 2i64), (5, 2), (6, 2), (6, 3)] {
+        let (sys, phi) = sd_bench::workloads::pointer_chain_pinned(n, d)?;
+        cases.push((format!("pointer-chain n={n} d={d}"), sys, phi, "o0", "last"));
+    }
+
+    // Wall time for one `depends_with_stats` call: median of `reps`
+    // runs, where `reps` adapts so fast cases are measured stably and
+    // slow ones are not run to death.
+    let time_one = |sys: &sd_core::System,
+                    phi: &Phi,
+                    a: &ObjSet,
+                    beta: sd_core::ObjId,
+                    engine: Engine,
+                    budget: &CompileBudget|
+     -> Result<(f64, reach::SearchStats, bool), sd_core::Error> {
+        let mut samples = Vec::new();
+        let (stats, witness) = loop {
+            let t = Instant::now();
+            let (w, s) = reach::depends_with_stats(sys, phi, a, beta, engine, budget)?;
+            samples.push(t.elapsed().as_secs_f64() * 1e3);
+            let done = samples.len() >= 5 || (samples.len() >= 2 && samples[0] > 200.0);
+            if done {
+                break (s, w.is_some());
+            }
+        };
+        samples.sort_by(|a, b| a.total_cmp(b));
+        Ok((samples[samples.len() / 2], stats, witness))
+    };
+
+    let mut t = Table::new(&[
+        "workload",
+        "states",
+        "ops",
+        "engine",
+        "visited pairs",
+        "wall ms",
+        "speedup",
+    ]);
+    let mut json_rows = Vec::new();
+    for (name, sys, phi, src, _beta) in &cases {
+        let u = sys.universe();
+        let a = ObjSet::singleton(u.obj(src)?);
+        let beta = u.objects().last().expect("non-empty universe");
+        let states = sys.state_count()?;
+        let ops = sys.num_ops();
+        let mut interp_ms = None;
+        for engine in [Engine::Interpreted, Engine::Auto] {
+            let (ms, stats, witness) = time_one(sys, phi, &a, beta, engine, &budget)?;
+            let speedup = match (engine, interp_ms) {
+                (Engine::Interpreted, _) => {
+                    interp_ms = Some(ms);
+                    "1.00x (ref)".into()
+                }
+                (_, Some(reference)) => format!("{:.2}x", reference / ms),
+                _ => "-".into(),
+            };
+            t.row(&[
+                name.clone(),
+                states.to_string(),
+                ops.to_string(),
+                stats.engine.into(),
+                stats.visited_pairs.to_string(),
+                format!("{ms:.3}"),
+                speedup,
+            ]);
+            json_rows.push(format!(
+                concat!(
+                    "    {{\"workload\": {:?}, \"states\": {}, \"ops\": {}, ",
+                    "\"engine\": {:?}, \"visited_pairs\": {}, \"levels\": {}, ",
+                    "\"wall_ms\": {:.3}, \"witness\": {}}}"
+                ),
+                name, states, ops, stats.engine, stats.visited_pairs, stats.levels, ms, witness
+            ));
+        }
+    }
+    print!("{}", t.render());
+    println!("expected: compiled ≥10x faster on the pointer-chain family at n ≥ 6");
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"pair_bfs\",\n  \"unit\": \"wall_ms\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_pair_bfs.json", json)?;
+    println!("wrote BENCH_pair_bfs.json");
+    Ok(())
+}
+
 fn p3_static_vs_semantic() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== P3: static transitive baseline vs exact strong dependency ==");
     let mut t = Table::new(&[

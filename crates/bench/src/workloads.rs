@@ -2,7 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sd_core::{Cmd, Domain, Expr, Op, Result, System, Universe};
+use sd_core::{Cmd, Domain, Expr, Op, Phi, Result, System, Universe, Value};
 
 /// A random guarded-copy system: `n` objects over a `k`-valued domain and
 /// `ops` operations of the shape `if x ◇ c then y ← z`, with everything
@@ -51,6 +51,131 @@ pub fn chain_system(n: usize, k: i64) -> Result<System> {
         ));
     }
     Ok(System::new(u, ops))
+}
+
+/// The benchmark member of the §4.3 pointer-chain family: the same
+/// `(data, ptr)` records and pointer-advance `δ2` as
+/// [`sd_core::examples::pointer_chain_system`], but `δ1` *accumulates*
+/// instead of copying — `y.data ← (y.data + x.data) mod d` when
+/// `y.ptr = x`. A plain copy makes every downstream difference a verbatim
+/// image of the source's, so state pairs stay cheap to enumerate;
+/// accumulation decorrelates the difference pattern from the data values
+/// and the reachable *pair* space dwarfs the reachable *state* space —
+/// the regime the pair search actually lives in.
+pub fn accumulator_chain_system(n: usize, d: i64) -> Result<System> {
+    let names: Vec<String> = (0..n).map(|i| format!("o{i}")).collect();
+    let mut objects = Vec::with_capacity(n);
+    for name in &names {
+        let mut values = Vec::new();
+        for data in 0..d {
+            for ptr in 0..n {
+                values.push(Value::Record(vec![
+                    Value::Int(data),
+                    Value::Name(sd_core::ObjId::from_index(ptr)),
+                ]));
+            }
+        }
+        objects.push((
+            name.clone(),
+            Domain::with_fields(values, vec!["data".into(), "ptr".into()])?,
+        ));
+    }
+    let u = Universe::new(objects)?;
+    let ids: Vec<_> = u.objects().collect();
+    let mut ops = Vec::new();
+    for &y in &ids {
+        for &x in &ids {
+            if y == x {
+                continue;
+            }
+            let y_points_x = Expr::var(y).field(1).eq(Expr::Const(Value::Name(x)));
+            // a1(y, x): if y.ptr = x then y.data ← (y.data + x.data) mod d.
+            ops.push(Op::from_cmd(
+                format!("a1({},{})", u.name(y), u.name(x)),
+                Cmd::when(
+                    y_points_x.clone(),
+                    Cmd::assign_field(
+                        y,
+                        0,
+                        Expr::var(y)
+                            .field(0)
+                            .add(Expr::var(x).field(0))
+                            .modulo(Expr::int(d)),
+                    ),
+                ),
+            ));
+            // δ2(y, x): if y.ptr = x then y.ptr ← x.ptr.
+            ops.push(Op::from_cmd(
+                format!("d2({},{})", u.name(y), u.name(x)),
+                Cmd::when(y_points_x, Cmd::assign_field(y, 1, Expr::var(x).field(1))),
+            ));
+        }
+    }
+    Ok(System::new(u, ops))
+}
+
+/// The [`accumulator_chain_system`] pinned to one *backward* chain with an
+/// isolated tail: φ requires `o0.ptr = o0`, `o_i.ptr = o_(i−1)` for
+/// `1 ≤ i ≤ n−2`, and `o_(n−1).ptr = o_(n−1)`, leaving only the data
+/// fields free.
+///
+/// Each `a1` pulls data from the pointed-to object, so `o0`'s variety
+/// spreads *forward* through `o1 … o_(n−2)` — and because it accumulates,
+/// any subset of those objects can end up differing, independent of the
+/// underlying data values. The tail `o_(n−1)` only ever points at itself
+/// (δ2 can never move a self-pointer), so `o0 ▷φ o_(n−1)` is *false* and
+/// the search must exhaust the entire reachable pair space — the worst
+/// case for engine throughput, with no early exit.
+///
+/// The constraint is returned materialised as an extensional [`Phi::Set`],
+/// so Sat(φ) enumeration costs the same (near nothing) for every engine
+/// and the benchmark measures pair expansion, not constraint evaluation.
+///
+/// The set is built *directly* rather than by evaluating a pinning
+/// expression over all `(d·n)^n` states: only the `d^n` free data
+/// assignments satisfy φ, and each one's mixed-radix state code follows
+/// arithmetically from the per-object strides (a record's value index is
+/// `data·n + ptr` by [`accumulator_chain_system`]'s construction order).
+/// That keeps setup instant even when the ambient space has tens of
+/// millions of states, e.g. `n = 6, d = 3`.
+pub fn pointer_chain_pinned(n: usize, d: i64) -> Result<(System, Phi)> {
+    let sys = accumulator_chain_system(n, d)?;
+    let u = sys.universe();
+    let ns = u.checked_state_count(u64::MAX as u128)?;
+    let pinned_ptr = |i: usize| if i == 0 || i == n - 1 { i } else { i - 1 };
+    let strides: Vec<u64> = (0..n)
+        .map(|i| u.stride(sd_core::ObjId::from_index(i)) as u64)
+        .collect();
+    let base: u64 = strides
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s * pinned_ptr(i) as u64)
+        .sum();
+    let mut set = sd_core::StateSet::new(ns);
+    // Odometer over the free data fields; ptr fields stay pinned.
+    let mut data = vec![0u64; n];
+    loop {
+        let code = base
+            + strides
+                .iter()
+                .zip(&data)
+                .map(|(s, v)| s * v * n as u64)
+                .sum::<u64>();
+        set.insert(code);
+        let mut i = 0;
+        while i < n {
+            data[i] += 1;
+            if data[i] < d as u64 {
+                break;
+            }
+            data[i] = 0;
+            i += 1;
+        }
+        if i == n {
+            break;
+        }
+    }
+    Ok((sys, Phi::from_set(set)))
 }
 
 /// A random straight-line program over `n` int variables with `stmts`
@@ -126,6 +251,55 @@ mod tests {
         )
         .unwrap()
         .is_none());
+    }
+
+    #[test]
+    fn pinned_pointer_chain_spreads_variety_but_spares_the_tail() {
+        let (sys, phi) = pointer_chain_pinned(4, 2).unwrap();
+        sys.validate().unwrap();
+        let u = sys.universe();
+        let o0 = sd_core::ObjSet::singleton(u.obj("o0").unwrap());
+        // o0's variety spreads through the backward chain...
+        assert!(
+            sd_core::reach::depends(&sys, &phi, &o0, u.obj("o2").unwrap())
+                .unwrap()
+                .is_some()
+        );
+        // ...but the isolated tail only ever reads itself, so the
+        // benchmark query is an exhaustive "no".
+        assert!(
+            sd_core::reach::depends(&sys, &phi, &o0, u.obj("o3").unwrap())
+                .unwrap()
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn pinned_set_matches_the_pinning_expression() {
+        // The arithmetically-built Sat set must equal the one obtained by
+        // evaluating the pinning expression over the whole state space.
+        for (n, d) in [(3usize, 2i64), (4, 2), (3, 3)] {
+            let (sys, phi) = pointer_chain_pinned(n, d).unwrap();
+            let u = sys.universe();
+            let ids: Vec<_> = u.objects().collect();
+            let mut expr: Option<Expr> = None;
+            for i in 0..n {
+                let target = if i == 0 || i == n - 1 {
+                    ids[i]
+                } else {
+                    ids[i - 1]
+                };
+                let clause = Expr::var(ids[i])
+                    .field(1)
+                    .eq(Expr::Const(Value::Name(target)));
+                expr = Some(match expr {
+                    Some(e) => e.and(clause),
+                    None => clause,
+                });
+            }
+            let by_expr = Phi::expr(expr.unwrap()).sat(&sys).unwrap();
+            assert_eq!(phi.sat(&sys).unwrap(), by_expr, "n={n} d={d}");
+        }
     }
 
     #[test]

@@ -1,0 +1,516 @@
+//! Compiled execution engine: integer successor tables over encoded
+//! state codes.
+//!
+//! The interpreted oracle in [`crate::reach`] pays for every pair
+//! expansion with two `State::decode`s, two AST walks and two
+//! `State::encode`s. For finite systems the whole transition function
+//! can instead be *compiled once*: each operation becomes a dense
+//! successor table `next[code · |Δ| + op] → code'` of `u32` codes, and
+//! per-object index extraction becomes two integer divisions against
+//! precomputed 64-bit strides ([`CompiledSystem::obj_index`]) instead of
+//! the `u128` arithmetic in `Universe::stride`.
+//!
+//! Two table layouts are provided, chosen by [`CompileBudget`]:
+//!
+//! - **Dense** (`|Σ| · |Δ|` within budget): every successor is
+//!   precomputed up front, in parallel over state-code ranges.
+//! - **Sparse**: successor rows are interpreted on first touch and
+//!   memoised in a [`SparseMemo`], so each *reached* state is
+//!   interpreted exactly once for all operations — the BFS in
+//!   `reach` typically touches a tiny fraction of `Σ²` pairs but a
+//!   larger fraction of `Σ`, and this caps interpretation cost at
+//!   `O(|reached states| · |Δ|)` instead of `O(|visited pairs| · |Δ|)`.
+//!
+//! Operations that *error* on a state (possible when
+//! `System::validate` would fail) are stored as a poison sentinel; the
+//! search re-interprets on access to surface the precise [`Error`].
+
+use crate::error::{Error, Result};
+use crate::fastmap::U64Map;
+use crate::history::OpId;
+use crate::state::State;
+use crate::system::System;
+use crate::universe::ObjId;
+
+/// Dense-table sentinel: "this operation errors on this state".
+const POISON32: u32 = u32::MAX;
+/// 64-bit poison sentinel used by sparse rows and [`CompiledSystem::succ`].
+pub(crate) const POISON: u64 = u64::MAX;
+
+/// Resource budget steering the automatic engine choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileBudget {
+    /// Maximum `|Σ| · |Δ|` entries for an upfront dense successor table
+    /// (4 bytes per entry).
+    pub max_dense_entries: u64,
+    /// Maximum `|Σ|²` bits for the flat bitset visited-pair structure in
+    /// the pair search; above it a hash set is used instead.
+    pub max_dense_pair_bits: u64,
+}
+
+impl Default for CompileBudget {
+    fn default() -> CompileBudget {
+        CompileBudget {
+            // ≤ 64 MiB of u32 successors.
+            max_dense_entries: 1 << 24,
+            // ≤ 32 MiB of visited bitmap (|Σ| ≤ 16384 gets the bitset).
+            max_dense_pair_bits: 1 << 28,
+        }
+    }
+}
+
+/// Which pair-search engine [`crate::reach`] should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Compile, picking dense or sparse tables from the budget.
+    #[default]
+    Auto,
+    /// The original AST-interpreting BFS (reference implementation).
+    Interpreted,
+    /// Force a dense upfront table.
+    CompiledDense,
+    /// Force sparse memoised rows.
+    CompiledSparse,
+}
+
+/// Table layout chosen for a [`CompiledSystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableKind {
+    /// Upfront `|Σ| · |Δ|` table.
+    Dense,
+    /// Rows interpreted on first touch and memoised.
+    Sparse,
+}
+
+/// A system compiled to integer successor tables (see module docs).
+///
+/// Immutable after construction, so one compiled system can be shared
+/// by reference across scoped worker threads — this is what lets
+/// [`crate::reach::sinks_matrix`] compile once for all worth-matrix
+/// rows.
+pub struct CompiledSystem<'s> {
+    sys: &'s System,
+    ns: u64,
+    num_ops: usize,
+    /// Per-object stride, narrowed to u64 (valid because `|Σ|` fits u64).
+    strides: Vec<u64>,
+    /// Per-object domain size, narrowed likewise.
+    dom_sizes: Vec<u64>,
+    kind: TableKind,
+    budget: CompileBudget,
+    /// State-major dense table: `dense[code · num_ops + op]`. Empty when
+    /// `kind` is [`TableKind::Sparse`].
+    dense: Vec<u32>,
+}
+
+/// Memoised successor rows for a sparse compiled search. Owned by one
+/// search (it is the only mutable part of the machinery), while the
+/// [`CompiledSystem`] itself stays shared.
+#[derive(Default)]
+pub struct SparseMemo {
+    /// State code → offset of its row in `rows` (row length = `num_ops`).
+    index: U64Map,
+    rows: Vec<u64>,
+}
+
+impl SparseMemo {
+    /// Number of states whose successor rows have been computed.
+    pub fn states_expanded(&self) -> usize {
+        self.index.len()
+    }
+}
+
+/// One state's successor row, borrowed from whichever table layout the
+/// system compiled to. Produced by [`CompiledSystem::row`].
+#[derive(Clone, Copy)]
+pub(crate) enum Row<'a> {
+    /// A dense-table row; [`POISON32`] marks erroring operations.
+    Dense(&'a [u32]),
+    /// A sparse memoised row; [`POISON`] marks erroring operations.
+    Sparse(&'a [u64]),
+}
+
+impl Row<'_> {
+    /// Successor under operation `op`, or [`POISON`].
+    #[inline]
+    pub(crate) fn succ(&self, op: usize) -> u64 {
+        match *self {
+            Row::Dense(r) => {
+                let v = r[op];
+                if v == POISON32 {
+                    POISON
+                } else {
+                    u64::from(v)
+                }
+            }
+            Row::Sparse(r) => r[op],
+        }
+    }
+}
+
+impl<'s> CompiledSystem<'s> {
+    /// Compiles `sys` under `engine` and `budget`.
+    ///
+    /// [`Engine::Auto`] (and, for convenience, [`Engine::Interpreted`])
+    /// selects dense tables when `|Σ| · |Δ|` fits the budget and codes
+    /// fit `u32`, sparse otherwise. Forcing [`Engine::CompiledDense`]
+    /// beyond the `u32` code range is an error.
+    pub fn compile(
+        sys: &'s System,
+        engine: Engine,
+        budget: &CompileBudget,
+    ) -> Result<CompiledSystem<'s>> {
+        let ns = sys.state_count()?;
+        let num_ops = sys.num_ops();
+        let entries = ns.saturating_mul(num_ops.max(1) as u64);
+        let dense_feasible = ns < u64::from(u32::MAX);
+        let kind = match engine {
+            Engine::CompiledDense => {
+                if !dense_feasible {
+                    return Err(Error::Invalid(format!(
+                        "state space of {ns} states does not fit dense u32 codes"
+                    )));
+                }
+                TableKind::Dense
+            }
+            Engine::CompiledSparse => TableKind::Sparse,
+            Engine::Auto | Engine::Interpreted => {
+                if dense_feasible && entries <= budget.max_dense_entries {
+                    TableKind::Dense
+                } else {
+                    TableKind::Sparse
+                }
+            }
+        };
+        let u = sys.universe();
+        let mut strides = Vec::with_capacity(u.num_objects());
+        let mut dom_sizes = Vec::with_capacity(u.num_objects());
+        for obj in u.objects() {
+            strides.push(u.stride(obj) as u64);
+            dom_sizes.push(u.domain(obj).size() as u64);
+        }
+        let dense = if kind == TableKind::Dense {
+            build_dense(sys, ns, num_ops)
+        } else {
+            Vec::new()
+        };
+        Ok(CompiledSystem {
+            sys,
+            ns,
+            num_ops,
+            strides,
+            dom_sizes,
+            kind,
+            budget: *budget,
+            dense,
+        })
+    }
+
+    /// Compiles with [`Engine::Auto`] and the default budget.
+    pub fn auto(sys: &'s System) -> Result<CompiledSystem<'s>> {
+        CompiledSystem::compile(sys, Engine::Auto, &CompileBudget::default())
+    }
+
+    /// The underlying system.
+    pub fn system(&self) -> &'s System {
+        self.sys
+    }
+
+    /// `|Σ|`.
+    pub fn state_count(&self) -> u64 {
+        self.ns
+    }
+
+    /// `|Δ|`.
+    pub fn num_ops(&self) -> usize {
+        self.num_ops
+    }
+
+    /// Which table layout was chosen.
+    pub fn kind(&self) -> TableKind {
+        self.kind
+    }
+
+    /// The budget the system was compiled under.
+    pub fn budget(&self) -> &CompileBudget {
+        &self.budget
+    }
+
+    /// Extracts the domain index of `obj` from an encoded state without
+    /// decoding — the compiled counterpart of `State::index`.
+    #[inline]
+    pub fn obj_index(&self, code: u64, obj: ObjId) -> u32 {
+        let i = obj.index();
+        ((code / self.strides[i]) % self.dom_sizes[i]) as u32
+    }
+
+    /// Successor of `code` under operation `op`, or [`POISON`] when the
+    /// operation errors on that state. Sparse lookups require the row to
+    /// have been materialised via [`CompiledSystem::ensure_rows`].
+    #[inline]
+    pub(crate) fn succ(&self, memo: &SparseMemo, code: u64, op: usize) -> u64 {
+        match self.kind {
+            TableKind::Dense => {
+                let v = self.dense[code as usize * self.num_ops + op];
+                if v == POISON32 {
+                    POISON
+                } else {
+                    u64::from(v)
+                }
+            }
+            TableKind::Sparse => {
+                let row = memo
+                    .index
+                    .get(code)
+                    .expect("sparse row materialised before use");
+                memo.rows[row + op]
+            }
+        }
+    }
+
+    /// The full successor row of `code` — one borrow instead of a table
+    /// lookup per operation, for the search's hot loop. Sparse rows must
+    /// have been materialised via [`CompiledSystem::ensure_rows`].
+    #[inline]
+    pub(crate) fn row<'m>(&'m self, memo: &'m SparseMemo, code: u64) -> Row<'m> {
+        match self.kind {
+            TableKind::Dense => {
+                Row::Dense(&self.dense[code as usize * self.num_ops..][..self.num_ops])
+            }
+            TableKind::Sparse => {
+                let off = memo
+                    .index
+                    .get(code)
+                    .expect("sparse row materialised before use");
+                Row::Sparse(&memo.rows[off..off + self.num_ops])
+            }
+        }
+    }
+
+    /// Materialises sparse successor rows for every code in `codes` that
+    /// is not yet memoised, interpreting rows in parallel when there are
+    /// enough of them. A no-op for dense tables.
+    pub(crate) fn ensure_rows(&self, memo: &mut SparseMemo, codes: &[u64]) {
+        if self.kind == TableKind::Dense || self.num_ops == 0 {
+            return;
+        }
+        let missing: Vec<u64> = codes
+            .iter()
+            .copied()
+            .filter(|&c| memo.index.get(c).is_none())
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        // Row interpretation is ~two orders of magnitude more expensive
+        // than a table probe, so parallelise even smallish batches.
+        let computed: Vec<Vec<u64>> = par_map_chunks(&missing, 32, |chunk| {
+            let mut rows = Vec::with_capacity(chunk.len() * self.num_ops);
+            for &code in chunk {
+                self.interpret_row(code, &mut rows);
+            }
+            rows
+        });
+        for (chunk, rows) in missing
+            .chunks(par_chunk_len(missing.len(), 32))
+            .zip(computed)
+        {
+            for (i, &code) in chunk.iter().enumerate() {
+                let offset = memo.rows.len() + i * self.num_ops;
+                memo.index.insert(code, offset);
+            }
+            memo.rows.extend_from_slice(&rows);
+        }
+    }
+
+    /// Interprets one state's full successor row into `out`.
+    fn interpret_row(&self, code: u64, out: &mut Vec<u64>) {
+        let u = self.sys.universe();
+        let sigma = State::decode(u, code);
+        for op in 0..self.num_ops {
+            out.push(match self.sys.apply(OpId(op as u32), &sigma) {
+                Ok(next) => next.encode(u),
+                Err(_) => POISON,
+            });
+        }
+    }
+
+    /// Re-interprets a poisoned entry to recover the precise error the
+    /// interpreter would have produced.
+    pub(crate) fn poison_error(&self, code: u64, op: usize) -> Error {
+        let sigma = State::decode(self.sys.universe(), code);
+        match self.sys.apply(OpId(op as u32), &sigma) {
+            Err(e) => e,
+            Ok(_) => Error::Invalid("poison entry without interpreter error".into()),
+        }
+    }
+}
+
+/// Builds the dense state-major table, splitting the state-code range
+/// across scoped threads.
+fn build_dense(sys: &System, ns: u64, num_ops: usize) -> Vec<u32> {
+    let total = ns as usize * num_ops;
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut table = vec![POISON32; total];
+    let threads = worker_count();
+    if threads <= 1 || ns < 1024 {
+        fill_dense_chunk(sys, &mut table, 0);
+        return table;
+    }
+    let chunk_states = (ns as usize).div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (i, chunk) in table.chunks_mut(chunk_states * num_ops).enumerate() {
+            let start = (i * chunk_states) as u64;
+            scope.spawn(move || fill_dense_chunk(sys, chunk, start));
+        }
+    });
+    table
+}
+
+/// Fills `chunk` (whole rows) with successors of codes starting at
+/// `start_code`.
+fn fill_dense_chunk(sys: &System, chunk: &mut [u32], start_code: u64) {
+    let u = sys.universe();
+    let num_ops = sys.num_ops();
+    for (row, cells) in chunk.chunks_mut(num_ops).enumerate() {
+        let sigma = State::decode(u, start_code + row as u64);
+        for (op, cell) in cells.iter_mut().enumerate() {
+            *cell = match sys.apply(OpId(op as u32), &sigma) {
+                Ok(next) => next.encode(u) as u32,
+                Err(_) => POISON32,
+            };
+        }
+    }
+}
+
+/// Number of workers for scoped-thread parallel sections.
+pub(crate) fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Chunk length used by [`par_map_chunks`] for `len` items with the
+/// given sequential threshold.
+pub(crate) fn par_chunk_len(len: usize, min_seq: usize) -> usize {
+    let threads = worker_count();
+    if threads <= 1 || len <= min_seq {
+        len.max(1)
+    } else {
+        len.div_ceil(threads)
+    }
+}
+
+/// Applies `f` to chunks of `items` on scoped threads, returning one
+/// result per chunk in order. Falls back to a single sequential call
+/// when `items` is small or the machine has one core.
+pub(crate) fn par_map_chunks<T, R, F>(items: &[T], min_seq: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let chunk_len = par_chunk_len(items.len(), min_seq);
+    if chunk_len >= items.len() {
+        return vec![f(items)];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(|| f(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel chunk worker does not panic"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+    use crate::system::System;
+
+    fn compile_both(sys: &System) -> (CompiledSystem<'_>, CompiledSystem<'_>) {
+        let budget = CompileBudget::default();
+        let dense = CompiledSystem::compile(sys, Engine::CompiledDense, &budget).unwrap();
+        let sparse = CompiledSystem::compile(sys, Engine::CompiledSparse, &budget).unwrap();
+        (dense, sparse)
+    }
+
+    #[test]
+    fn tables_agree_with_interpreter_everywhere() {
+        let sys = examples::pointer_chain_system(3, 2).unwrap();
+        let u = sys.universe();
+        let ns = sys.state_count().unwrap();
+        let (dense, sparse) = compile_both(&sys);
+        let mut memo = SparseMemo::default();
+        let all: Vec<u64> = (0..ns).collect();
+        sparse.ensure_rows(&mut memo, &all);
+        let empty = SparseMemo::default();
+        for code in 0..ns {
+            let sigma = State::decode(u, code);
+            for op in sys.op_ids() {
+                let expect = sys.apply(op, &sigma).unwrap().encode(u);
+                assert_eq!(dense.succ(&empty, code, op.index()), expect);
+                assert_eq!(sparse.succ(&memo, code, op.index()), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn obj_index_matches_decode() {
+        let sys = examples::m1m2_system(3).unwrap();
+        let u = sys.universe();
+        let cs = CompiledSystem::auto(&sys).unwrap();
+        for code in 0..sys.state_count().unwrap() {
+            let sigma = State::decode(u, code);
+            for obj in u.objects() {
+                assert_eq!(cs.obj_index(code, obj), sigma.index(obj));
+            }
+        }
+    }
+
+    #[test]
+    fn auto_respects_budget() {
+        let sys = examples::copy_system(8).unwrap();
+        let tiny = CompileBudget {
+            max_dense_entries: 4,
+            ..CompileBudget::default()
+        };
+        let cs = CompiledSystem::compile(&sys, Engine::Auto, &tiny).unwrap();
+        assert_eq!(cs.kind(), TableKind::Sparse);
+        let cs = CompiledSystem::auto(&sys).unwrap();
+        assert_eq!(cs.kind(), TableKind::Dense);
+    }
+
+    #[test]
+    fn poison_surfaces_interpreter_error() {
+        // copy_system(3) with enum limit large enough, but an op writing
+        // out of domain: build via with_enum_limit on an invalid system.
+        use crate::expr::Expr;
+        use crate::op::{Cmd, Op};
+        use crate::universe::{Domain, Universe};
+        let u = Universe::new(vec![("x".into(), Domain::int_range(0, 2).unwrap())]).unwrap();
+        let x = u.obj("x").unwrap();
+        let sys = System::new(
+            u,
+            vec![Op::from_cmd(
+                "bump",
+                Cmd::assign(x, Expr::var(x).add(Expr::int(1))),
+            )],
+        );
+        let cs = CompiledSystem::compile(&sys, Engine::CompiledDense, &CompileBudget::default())
+            .unwrap();
+        let empty = SparseMemo::default();
+        // x = 2 overflows the domain.
+        assert_eq!(cs.succ(&empty, 2, 0), POISON);
+        assert!(matches!(cs.poison_error(2, 0), Error::OutOfDomain { .. }));
+    }
+}

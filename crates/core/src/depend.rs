@@ -17,7 +17,7 @@ use crate::error::Result;
 use crate::history::History;
 use crate::state::State;
 use crate::system::System;
-use crate::universe::{ObjId, ObjSet};
+use crate::universe::{ObjId, ObjSet, Universe};
 
 /// A witnessing state pair `σ1 (A ▷H β) σ2` (Def 2-9).
 #[derive(Debug, Clone, PartialEq)]
@@ -28,21 +28,106 @@ pub struct Witness {
     pub sigma2: State,
 }
 
-/// Partitions Sat(φ) into `=A=` equivalence classes.
+/// Enumerates `Sat(φ)` as ascending state codes.
 ///
-/// Two states are in the same class iff they agree on every object outside
-/// `A`. Classes with a single member can never witness a dependency, but
-/// they are still returned (callers may reuse the partition).
-pub fn classes(sys: &System, phi: &Phi, a: &ObjSet) -> Result<Vec<Vec<State>>> {
-    let mut map: HashMap<Vec<u32>, Vec<State>> = HashMap::new();
-    for sigma in sys.states()? {
-        if phi.holds(sys, &sigma)? {
-            map.entry(sigma.project_complement(a))
-                .or_default()
-                .push(sigma);
+/// Extensional and trivial constraints short-circuit without touching
+/// the state space; everything else is one enumeration pass. This is the
+/// single Sat(φ) sweep shared by [`SatPartition`], [`crate::reach`] and
+/// the worth matrix.
+pub fn sat_codes(sys: &System, phi: &Phi) -> Result<Vec<u64>> {
+    let n = sys.state_count()?;
+    match phi {
+        Phi::True => Ok((0..n).collect()),
+        Phi::False => Ok(Vec::new()),
+        Phi::Set(s) => Ok(s.iter().filter(|&i| i < n).collect()),
+        _ => {
+            let mut out = Vec::new();
+            // `StateIter` yields states in encoding order, so a running
+            // counter doubles as the code (checked by the state
+            // round-trip property tests).
+            for (code, sigma) in (0..n).zip(sys.states()?) {
+                if phi.holds(sys, &sigma)? {
+                    out.push(code);
+                }
+            }
+            Ok(out)
         }
     }
-    Ok(map.into_values().collect())
+}
+
+/// `Sat(φ)` partitioned into `=A=` equivalence classes, by state code.
+///
+/// Two states are in the same class iff they agree on every object
+/// outside `A`. The class key is computed arithmetically — the encoding
+/// of the state with every A-object zeroed — so no per-state projection
+/// vector is allocated or hashed. One partition serves every consumer
+/// of the classes: [`crate::reach`] builds its initial pair frontier
+/// from it, and [`strongly_depends_after_with`] reuses it across the
+/// histories of a bounded enumeration.
+#[derive(Debug, Clone)]
+pub struct SatPartition {
+    classes: Vec<Vec<u64>>,
+}
+
+impl SatPartition {
+    /// Partitions `Sat(φ)` under `=A=`.
+    pub fn new(sys: &System, phi: &Phi, a: &ObjSet) -> Result<SatPartition> {
+        Ok(SatPartition::from_codes(
+            sys.universe(),
+            &sat_codes(sys, phi)?,
+            a,
+        ))
+    }
+
+    /// Partitions an explicit ascending code list under `=A=`. Useful
+    /// when one Sat(φ) enumeration is shared across several source sets
+    /// (the worth matrix re-partitions the same codes per row).
+    pub fn from_codes(u: &Universe, codes: &[u64], a: &ObjSet) -> SatPartition {
+        let strides: Vec<(u64, u64)> = a
+            .iter()
+            .map(|obj| (u.stride(obj) as u64, u.domain(obj).size() as u64))
+            .collect();
+        let mut map: HashMap<u64, Vec<u64>> = HashMap::new();
+        for &code in codes {
+            // key = code with every A-coordinate zeroed: a perfect,
+            // allocation-free key for the =A= relation.
+            let mut key = code;
+            for &(stride, dom) in &strides {
+                key -= stride * ((code / stride) % dom);
+            }
+            map.entry(key).or_default().push(code);
+        }
+        let mut classes: Vec<Vec<u64>> = map.into_values().collect();
+        // Deterministic class order (members are already ascending
+        // because `codes` is ascending).
+        classes.sort_unstable();
+        SatPartition { classes }
+    }
+
+    /// The classes; each inner vector is ascending, classes are sorted
+    /// by first member.
+    pub fn classes(&self) -> &[Vec<u64>] {
+        &self.classes
+    }
+
+    /// Total number of φ-states across all classes.
+    pub fn num_states(&self) -> usize {
+        self.classes.iter().map(Vec::len).sum()
+    }
+}
+
+/// Partitions Sat(φ) into `=A=` equivalence classes, as decoded states.
+///
+/// Kept for callers that want `State` values; the partition itself is
+/// computed code-wise via [`SatPartition`] (no per-state key
+/// allocation).
+pub fn classes(sys: &System, phi: &Phi, a: &ObjSet) -> Result<Vec<Vec<State>>> {
+    let u = sys.universe();
+    Ok(SatPartition::new(sys, phi, a)?
+        .classes()
+        .iter()
+        .map(|class| class.iter().map(|&c| State::decode(u, c)).collect())
+        .collect())
 }
 
 /// Decides `A ▷φH β` (Def 2-10): returns a witness pair if β strongly
@@ -72,21 +157,35 @@ pub fn strongly_depends_after(
     beta: ObjId,
     h: &History,
 ) -> Result<Option<Witness>> {
-    for class in classes(sys, phi, a)? {
+    strongly_depends_after_with(sys, &SatPartition::new(sys, phi, a)?, beta, h)
+}
+
+/// [`strongly_depends_after`] against a precomputed partition, so one
+/// Sat(φ) enumeration serves many histories (this is what
+/// [`crate::reach::depends_bounded`] iterates with).
+pub fn strongly_depends_after_with(
+    sys: &System,
+    partition: &SatPartition,
+    beta: ObjId,
+    h: &History,
+) -> Result<Option<Witness>> {
+    let u = sys.universe();
+    for class in partition.classes() {
         if class.len() < 2 {
             continue;
         }
-        let mut first: Option<(u32, &State)> = None;
-        for sigma in &class {
-            let out = sys.run(sigma, h)?;
+        let mut first: Option<(u32, u64)> = None;
+        for &code in class {
+            let sigma = State::decode(u, code);
+            let out = sys.run(&sigma, h)?;
             let b = out.index(beta);
             match first {
-                None => first = Some((b, sigma)),
-                Some((b0, s0)) => {
+                None => first = Some((b, code)),
+                Some((b0, c0)) => {
                     if b != b0 {
                         return Ok(Some(Witness {
-                            sigma1: s0.clone(),
-                            sigma2: sigma.clone(),
+                            sigma1: State::decode(u, c0),
+                            sigma2: sigma,
                         }));
                     }
                 }
@@ -386,6 +485,53 @@ mod tests {
         )
         .unwrap()
         .is_none());
+    }
+
+    #[test]
+    fn sat_partition_matches_projection_classes() {
+        // The arithmetic comp-key partition must agree with the
+        // reference grouping by the projected complement vector.
+        let sys = copy_sys(4);
+        let u = sys.universe();
+        let a = u.obj("alpha").unwrap();
+        for phi in [
+            Phi::True,
+            Phi::expr(Expr::var(a).lt(Expr::int(2))),
+            Phi::expr(Expr::var(a).le(Expr::var(u.obj("beta").unwrap()))),
+        ] {
+            for src in [ObjSet::singleton(a), ObjSet::empty()] {
+                let part = SatPartition::new(&sys, &phi, &src).unwrap();
+                let mut reference: HashMap<Vec<u32>, Vec<u64>> = HashMap::new();
+                for sigma in sys.states().unwrap() {
+                    if phi.holds(&sys, &sigma).unwrap() {
+                        reference
+                            .entry(sigma.project_complement(&src))
+                            .or_default()
+                            .push(sigma.encode(u));
+                    }
+                }
+                let mut expected: Vec<Vec<u64>> = reference.into_values().collect();
+                expected.sort_unstable();
+                assert_eq!(part.classes(), &expected[..]);
+                assert_eq!(part.num_states(), expected.iter().map(Vec::len).sum());
+            }
+        }
+    }
+
+    #[test]
+    fn sat_codes_fast_paths_agree() {
+        let sys = copy_sys(4);
+        let u = sys.universe();
+        let a = u.obj("alpha").unwrap();
+        let phi = Phi::expr(Expr::var(a).lt(Expr::int(2)));
+        let slow = sat_codes(&sys, &phi).unwrap();
+        let as_set = Phi::from_set(phi.sat(&sys).unwrap());
+        assert_eq!(sat_codes(&sys, &as_set).unwrap(), slow);
+        assert_eq!(
+            sat_codes(&sys, &Phi::True).unwrap().len() as u64,
+            sys.state_count().unwrap()
+        );
+        assert!(sat_codes(&sys, &Phi::False).unwrap().is_empty());
     }
 
     #[test]

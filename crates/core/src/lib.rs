@@ -11,7 +11,8 @@
 //!   [`classify`], [`after`]);
 //! - exact decision procedures for strong dependency `A ▷φ β`, both per
 //!   history (Defs 2-3…2-11, 5-5…5-7) and over *all* histories via pair
-//!   reachability ([`depend`], [`reach`]);
+//!   reachability ([`depend`], [`reach`]), with a compiled transition-table
+//!   engine for the pair search ([`compiled`]);
 //! - the paper's proof techniques as certificate-producing provers:
 //!   Strong Dependency Induction, Separation of Variety and inductive
 //!   covers ([`induction`], [`cover`], [`certificate`]);
@@ -29,12 +30,14 @@ pub mod after;
 pub mod bitset;
 pub mod certificate;
 pub mod classify;
+pub mod compiled;
 pub mod constraint;
 pub mod cover;
 pub mod depend;
 pub mod error;
 pub mod examples;
 pub mod expr;
+pub mod fastmap;
 pub mod history;
 pub mod induction;
 pub mod inferential;
@@ -50,6 +53,7 @@ pub mod universe;
 pub mod value;
 pub mod worth;
 
+pub use crate::compiled::{CompileBudget, CompiledSystem, Engine, TableKind};
 pub use crate::constraint::{Phi, StateSet};
 pub use crate::error::{Error, Result};
 pub use crate::expr::{BinOp, Expr};

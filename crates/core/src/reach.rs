@@ -7,14 +7,39 @@
 //! This module implements that product-automaton BFS, with witness
 //! reconstruction (the actual history H and state pair).
 //!
+//! Two engines run the same search (selected by [`Engine`]):
+//!
+//! - **Interpreted** — the reference implementation: every pair expansion
+//!   decodes both states, walks the operation ASTs, and re-encodes.
+//! - **Compiled** — the [`crate::compiled`] tables: the BFS runs over
+//!   packed `u64` pair codes only, the visited structure is a flat
+//!   [`BitSet`] (falling back to a hash set above
+//!   [`CompileBudget::max_dense_pair_bits`]), and each frontier level is
+//!   expanded in parallel on scoped threads. Candidate levels are merged
+//!   sequentially in frontier order, so discovery order — and therefore
+//!   the reconstructed witness and its minimal length — is identical to
+//!   the interpreted engine's.
+//!
+//! One known divergence: on *invalid* systems (operations that error on
+//! reachable states) the interpreted engine may surface the error before
+//! reaching a later witness, while the compiled engine checks the goal at
+//! discovery time and may return that witness first. On valid systems
+//! (`System::validate` passes) the engines are observationally identical.
+//!
 //! The same search underlies [`sinks`] (all β reachable from a source set,
-//! i.e. one row of the §3.6 worth measure) and the set-target variant of
-//! Def 5-7.
+//! i.e. one row of the §3.6 worth measure); [`sinks_matrix`] batches many
+//! rows over a single compiled system.
 
 use std::collections::{HashMap, VecDeque};
 
+use crate::bitset::BitSet;
+use crate::compiled::{
+    par_map_chunks, CompileBudget, CompiledSystem, Engine, SparseMemo, TableKind, POISON,
+};
 use crate::constraint::Phi;
-use crate::error::Result;
+use crate::depend::{sat_codes, SatPartition};
+use crate::error::{Error, Result};
+use crate::fastmap::U64Set;
 use crate::history::{History, OpId};
 use crate::state::State;
 use crate::system::System;
@@ -31,12 +56,23 @@ pub struct DependsWitness {
     pub sigma2: State,
 }
 
-/// Extracts the domain index of `obj` from an encoded state, without
-/// materializing the full state.
-fn obj_index_of_code(u: &Universe, code: u64, obj: ObjId) -> u32 {
-    let stride = u.stride(obj) as u64;
-    let dom = u.domain(obj).size() as u64;
-    ((code / stride) % dom) as u32
+/// Diagnostics from one pair search.
+///
+/// `visited_pairs` counts the distinct canonical pairs *discovered*;
+/// because the interpreted engine keeps discovering pairs between the
+/// goal pair's insertion and its dequeue, its count can exceed the
+/// compiled engines' on searches that stop early. On exhaustive searches
+/// (e.g. [`sinks`] without early exit) all engines agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Which engine ran: `"interpreted"`, `"compiled-dense"` or
+    /// `"compiled-sparse"`.
+    pub engine: &'static str,
+    /// Distinct canonical state pairs discovered.
+    pub visited_pairs: u64,
+    /// Deepest BFS level reached (= witness history length when the
+    /// search stopped at a goal pair).
+    pub levels: u32,
 }
 
 /// Canonically ordered pair of encoded states.
@@ -50,42 +86,39 @@ fn canon(a: u64, b: u64) -> Pair {
     }
 }
 
-/// The initial pair frontier: all unordered pairs of distinct φ-states that
-/// differ only at A.
-fn initial_pairs(sys: &System, phi: &Phi, a: &ObjSet) -> Result<Vec<Pair>> {
-    let u = sys.universe();
+/// The initial pair frontier: all unordered pairs of distinct φ-states
+/// that differ only at A, in ascending order. Classes are disjoint and
+/// internally ascending, so the pairs are already canonical and
+/// duplicate-free.
+fn initial_pairs(part: &SatPartition) -> Vec<Pair> {
     let mut out = Vec::new();
-    for class in crate::depend::classes(sys, phi, a)? {
-        let codes: Vec<u64> = class.iter().map(|s| s.encode(u)).collect();
-        for i in 0..codes.len() {
-            for j in (i + 1)..codes.len() {
-                out.push(canon(codes[i], codes[j]));
+    for class in part.classes() {
+        for (i, &c1) in class.iter().enumerate() {
+            for &c2 in &class[i + 1..] {
+                out.push((c1, c2));
             }
         }
     }
     out.sort_unstable();
-    out.dedup();
-    Ok(out)
+    out
 }
 
-/// Internal BFS over the pair graph. Calls `found` on every visited pair;
-/// when `found` returns `true` the search stops and the witness (history and
-/// initial pair) is reconstructed.
-fn pair_bfs(
+/// Interpreted reference BFS over the pair graph. Calls `found` on every
+/// visited pair (in FIFO order); when `found` returns `true` the search
+/// stops and the witness is reconstructed.
+fn interpreted_search(
     sys: &System,
-    phi: &Phi,
-    a: &ObjSet,
-    mut found: impl FnMut(&Universe, Pair) -> bool,
-) -> Result<Option<DependsWitness>> {
+    part: &SatPartition,
+    mut found: impl FnMut(u64, u64) -> bool,
+) -> Result<(Option<DependsWitness>, SearchStats)> {
     let u = sys.universe();
-    let start = initial_pairs(sys, phi, a)?;
     // parent: pair -> (predecessor pair, op applied). Roots map to None.
     let mut parent: HashMap<Pair, Option<(Pair, OpId)>> = HashMap::new();
-    let mut queue: VecDeque<Pair> = VecDeque::new();
-    for p in start {
+    let mut queue: VecDeque<(Pair, u32)> = VecDeque::new();
+    for p in initial_pairs(part) {
         if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(p) {
             e.insert(None);
-            queue.push_back(p);
+            queue.push_back((p, 0));
         }
     }
     let reconstruct = |parent: &HashMap<Pair, Option<(Pair, OpId)>>, mut cur: Pair| {
@@ -102,14 +135,22 @@ fn pair_bfs(
         ops.reverse();
         (cur, History::from_ops(ops))
     };
-    while let Some(pair) = queue.pop_front() {
-        if found(u, pair) {
+    let mut levels = 0u32;
+    while let Some((pair, depth)) = queue.pop_front() {
+        levels = levels.max(depth);
+        if found(pair.0, pair.1) {
             let (root, history) = reconstruct(&parent, pair);
-            return Ok(Some(DependsWitness {
+            let witness = DependsWitness {
                 history,
                 sigma1: State::decode(u, root.0),
                 sigma2: State::decode(u, root.1),
-            }));
+            };
+            let stats = SearchStats {
+                engine: "interpreted",
+                visited_pairs: parent.len() as u64,
+                levels,
+            };
+            return Ok((Some(witness), stats));
         }
         let s1 = State::decode(u, pair.0);
         let s2 = State::decode(u, pair.1);
@@ -125,15 +166,317 @@ fn pair_bfs(
             let next = canon(n1, n2);
             if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(next) {
                 e.insert(Some((pair, op)));
-                queue.push_back(next);
+                queue.push_back((next, depth + 1));
             }
         }
     }
-    Ok(None)
+    let stats = SearchStats {
+        engine: "interpreted",
+        visited_pairs: parent.len() as u64,
+        levels,
+    };
+    Ok((None, stats))
+}
+
+/// A discovered pair in the compiled search: packed canonical pair key
+/// plus the BFS-tree edge that reached it.
+#[derive(Clone, Copy)]
+struct Node {
+    /// Packed canonical pair `a · |Σ| + b` (`a ≤ b`), or [`POISON`] for a
+    /// pending expansion error.
+    key: u64,
+    /// Index of the predecessor node, or [`NO_PARENT`] for roots.
+    parent: u32,
+    /// Operation index applied at the predecessor.
+    op: u32,
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// Visited-pair structure for the compiled search: flat bitmap over
+/// `|Σ|²` pair keys when that fits the budget, open-addressed
+/// [`U64Set`] otherwise.
+enum Visited {
+    Dense(BitSet),
+    Sparse(U64Set),
+}
+
+impl Visited {
+    fn with_capacity(ns: u64, budget: &CompileBudget) -> Visited {
+        match ns.checked_mul(ns) {
+            Some(bits) if bits <= budget.max_dense_pair_bits => Visited::Dense(BitSet::new(bits)),
+            _ => Visited::Sparse(U64Set::new()),
+        }
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        match self {
+            Visited::Dense(b) => b.contains(key),
+            Visited::Sparse(s) => s.contains(key),
+        }
+    }
+
+    fn insert(&mut self, key: u64) -> bool {
+        match self {
+            Visited::Dense(b) => b.insert(key),
+            Visited::Sparse(s) => s.insert(key),
+        }
+    }
+}
+
+fn push_node(nodes: &mut Vec<Node>, key: u64, parent: u32, op: u32) -> Result<usize> {
+    let idx = nodes.len();
+    if idx >= NO_PARENT as usize {
+        return Err(Error::Invalid(
+            "pair search exceeded 2^32 - 1 visited pairs".into(),
+        ));
+    }
+    nodes.push(Node { key, parent, op });
+    Ok(idx)
+}
+
+fn reconstruct_compiled(u: &Universe, nodes: &[Node], mut idx: usize, ns: u64) -> DependsWitness {
+    let mut ops = Vec::new();
+    loop {
+        let n = nodes[idx];
+        if n.parent == NO_PARENT {
+            ops.reverse();
+            return DependsWitness {
+                history: History::from_ops(ops),
+                sigma1: State::decode(u, n.key / ns),
+                sigma2: State::decode(u, n.key % ns),
+            };
+        }
+        ops.push(OpId(n.op));
+        idx = n.parent as usize;
+    }
+}
+
+/// Compiled BFS over packed pair codes: level-parallel expansion with a
+/// sequential in-order merge (see module docs for why the merge order
+/// matters).
+fn compiled_search(
+    cs: &CompiledSystem<'_>,
+    part: &SatPartition,
+    mut found: impl FnMut(u64, u64) -> bool,
+) -> Result<(Option<DependsWitness>, SearchStats)> {
+    let u = cs.system().universe();
+    let ns = cs.state_count();
+    let num_ops = cs.num_ops();
+    let engine = match cs.kind() {
+        TableKind::Dense => "compiled-dense",
+        TableKind::Sparse => "compiled-sparse",
+    };
+    let mut visited = Visited::with_capacity(ns, cs.budget());
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut memo = SparseMemo::default();
+
+    // Roots, goal-checked in the same ascending order the interpreted
+    // engine dequeues them. Key order equals pair order because the
+    // packing is lexicographic.
+    let mut roots: Vec<u64> = Vec::new();
+    for class in part.classes() {
+        for (i, &c1) in class.iter().enumerate() {
+            for &c2 in &class[i + 1..] {
+                roots.push(c1 * ns + c2);
+            }
+        }
+    }
+    roots.sort_unstable();
+    for key in roots {
+        if !visited.insert(key) {
+            continue;
+        }
+        let idx = push_node(&mut nodes, key, NO_PARENT, 0)?;
+        if found(key / ns, key % ns) {
+            let stats = SearchStats {
+                engine,
+                visited_pairs: nodes.len() as u64,
+                levels: 0,
+            };
+            return Ok((Some(reconstruct_compiled(u, &nodes, idx, ns)), stats));
+        }
+    }
+
+    let mut lo = 0usize;
+    let mut depth = 0u32;
+    let mut levels = 0u32;
+    while lo < nodes.len() {
+        let hi = nodes.len();
+        depth += 1;
+        // Materialise sparse successor rows for every state in the
+        // frontier (parallel, no-op for dense tables).
+        if cs.kind() == TableKind::Sparse {
+            let mut codes: Vec<u64> = Vec::with_capacity((hi - lo) * 2);
+            for n in &nodes[lo..hi] {
+                codes.push(n.key / ns);
+                codes.push(n.key % ns);
+            }
+            codes.sort_unstable();
+            codes.dedup();
+            cs.ensure_rows(&mut memo, &codes);
+        }
+        // Expand the frontier in parallel; each chunk emits candidates in
+        // frontier × op order.
+        let frontier: Vec<(u64, u32)> = nodes[lo..hi]
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.key, (lo + i) as u32))
+            .collect();
+        let memo_ref = &memo;
+        let visited_ref = &visited;
+        let candidates: Vec<Vec<Node>> = par_map_chunks(&frontier, 64, |chunk| {
+            let mut out = Vec::new();
+            for &(key, idx) in chunk {
+                let (c1, c2) = (key / ns, key % ns);
+                // One row borrow per side instead of a table lookup per
+                // operation.
+                let r1 = cs.row(memo_ref, c1);
+                let r2 = cs.row(memo_ref, c2);
+                for op in 0..num_ops {
+                    let n1 = r1.succ(op);
+                    let n2 = r2.succ(op);
+                    if n1 == POISON || n2 == POISON {
+                        // Defer the error so it surfaces in deterministic
+                        // merge order.
+                        out.push(Node {
+                            key: POISON,
+                            parent: idx,
+                            op: op as u32,
+                        });
+                        continue;
+                    }
+                    if n1 == c1 && n2 == c2 {
+                        // The op moved neither side, so the candidate is
+                        // this very pair — already visited. Skipping here
+                        // saves the hash probe; guard-heavy systems disable
+                        // most operations in most states.
+                        continue;
+                    }
+                    if n1 == n2 {
+                        // Coinciding runs stay equal forever.
+                        continue;
+                    }
+                    let key = if n1 <= n2 { n1 * ns + n2 } else { n2 * ns + n1 };
+                    // Pairs already visited at level start would be dropped
+                    // by the merge anyway; filtering here (a read-only
+                    // probe, safe in parallel) keeps the sequential merge
+                    // proportional to *novel* pairs, not to all candidates.
+                    if visited_ref.contains(key) {
+                        continue;
+                    }
+                    out.push(Node {
+                        key,
+                        parent: idx,
+                        op: op as u32,
+                    });
+                }
+            }
+            out
+        });
+        lo = hi;
+        // Sequential merge in frontier order: discovery order — and hence
+        // witnesses — match the interpreted FIFO exactly.
+        for cand in candidates.into_iter().flatten() {
+            if cand.key == POISON {
+                let pkey = nodes[cand.parent as usize].key;
+                let op = cand.op as usize;
+                let side = if cs.succ(&memo, pkey / ns, op) == POISON {
+                    pkey / ns
+                } else {
+                    pkey % ns
+                };
+                return Err(cs.poison_error(side, op));
+            }
+            if visited.insert(cand.key) {
+                levels = depth;
+                let idx = push_node(&mut nodes, cand.key, cand.parent, cand.op)?;
+                if found(cand.key / ns, cand.key % ns) {
+                    let stats = SearchStats {
+                        engine,
+                        visited_pairs: nodes.len() as u64,
+                        levels,
+                    };
+                    return Ok((Some(reconstruct_compiled(u, &nodes, idx, ns)), stats));
+                }
+            }
+        }
+    }
+    let stats = SearchStats {
+        engine,
+        visited_pairs: nodes.len() as u64,
+        levels,
+    };
+    Ok((None, stats))
+}
+
+/// State spaces at or above this size cannot use packed `u64` pair keys;
+/// [`Engine::Auto`] falls back to the interpreted engine there.
+const MAX_COMPILED_STATES: u64 = u32::MAX as u64;
+
+fn wants_interpreter(engine: Engine, ns: u64) -> bool {
+    match engine {
+        Engine::Interpreted => true,
+        Engine::Auto => ns >= MAX_COMPILED_STATES,
+        Engine::CompiledDense | Engine::CompiledSparse => false,
+    }
+}
+
+/// When Sat(φ) is at most `1/AUTO_SPARSE_SAT_RATIO` of the state space,
+/// [`Engine::Auto`] prefers lazy sparse tables even if dense tables fit
+/// the budget: a thin satisfying slice usually means the pair search
+/// touches a correspondingly thin reachable region, and materialising
+/// dense successor rows for *every* state would cost more than the search
+/// itself.
+const AUTO_SPARSE_SAT_RATIO: u64 = 16;
+
+/// Refines [`Engine::Auto`] with the size of Sat(φ) (see
+/// [`AUTO_SPARSE_SAT_RATIO`]); other engines pass through unchanged.
+fn refine_auto(engine: Engine, sat_states: u64, ns: u64) -> Engine {
+    match engine {
+        Engine::Auto if sat_states.saturating_mul(AUTO_SPARSE_SAT_RATIO) < ns => {
+            Engine::CompiledSparse
+        }
+        e => e,
+    }
+}
+
+/// Engine-dispatching core shared by every public search entry point.
+fn search_with(
+    sys: &System,
+    phi: &Phi,
+    a: &ObjSet,
+    engine: Engine,
+    budget: &CompileBudget,
+    found: impl FnMut(u64, u64) -> bool,
+) -> Result<(Option<DependsWitness>, SearchStats)> {
+    let ns = sys.state_count()?;
+    let part = SatPartition::new(sys, phi, a)?;
+    if wants_interpreter(engine, ns) {
+        interpreted_search(sys, &part, found)
+    } else if ns >= MAX_COMPILED_STATES {
+        Err(Error::Invalid(format!(
+            "state space of {ns} states exceeds the compiled pair-key range"
+        )))
+    } else {
+        let engine = refine_auto(engine, part.num_states() as u64, ns);
+        let cs = CompiledSystem::compile(sys, engine, budget)?;
+        compiled_search(&cs, &part, found)
+    }
+}
+
+/// Precomputed `(stride, domain size)` for extracting one object's index
+/// from an encoded state without decoding.
+fn extractor(u: &Universe, obj: ObjId) -> (u64, u64) {
+    (u.stride(obj) as u64, u.domain(obj).size() as u64)
 }
 
 /// Decides `A ▷φ β` (Def 2-11): is there *any* history over which β
 /// strongly depends on A given φ? Exact; returns a witness if so.
+///
+/// Uses [`Engine::Auto`]: the search compiles the system to successor
+/// tables when the state space fits the default [`CompileBudget`]. Use
+/// [`depends_with`] to pin an engine.
 ///
 /// # Examples
 ///
@@ -151,8 +494,33 @@ fn pair_bfs(
 /// # Ok::<(), sd_core::Error>(())
 /// ```
 pub fn depends(sys: &System, phi: &Phi, a: &ObjSet, beta: ObjId) -> Result<Option<DependsWitness>> {
-    pair_bfs(sys, phi, a, |u, (c1, c2)| {
-        obj_index_of_code(u, c1, beta) != obj_index_of_code(u, c2, beta)
+    depends_with(sys, phi, a, beta, Engine::Auto, &CompileBudget::default())
+}
+
+/// [`depends`] under an explicit engine and budget.
+pub fn depends_with(
+    sys: &System,
+    phi: &Phi,
+    a: &ObjSet,
+    beta: ObjId,
+    engine: Engine,
+    budget: &CompileBudget,
+) -> Result<Option<DependsWitness>> {
+    Ok(depends_with_stats(sys, phi, a, beta, engine, budget)?.0)
+}
+
+/// [`depends_with`], also returning search diagnostics.
+pub fn depends_with_stats(
+    sys: &System,
+    phi: &Phi,
+    a: &ObjSet,
+    beta: ObjId,
+    engine: Engine,
+    budget: &CompileBudget,
+) -> Result<(Option<DependsWitness>, SearchStats)> {
+    let (stride, dom) = extractor(sys.universe(), beta);
+    search_with(sys, phi, a, engine, budget, move |c1, c2| {
+        (c1 / stride) % dom != (c2 / stride) % dom
     })
 }
 
@@ -164,38 +532,136 @@ pub fn depends_set(
     a: &ObjSet,
     b: &ObjSet,
 ) -> Result<Option<DependsWitness>> {
+    depends_set_with(sys, phi, a, b, Engine::Auto, &CompileBudget::default())
+}
+
+/// [`depends_set`] under an explicit engine and budget.
+pub fn depends_set_with(
+    sys: &System,
+    phi: &Phi,
+    a: &ObjSet,
+    b: &ObjSet,
+    engine: Engine,
+    budget: &CompileBudget,
+) -> Result<Option<DependsWitness>> {
     if b.is_empty() {
         return Ok(None);
     }
-    pair_bfs(sys, phi, a, |u, (c1, c2)| {
-        b.iter()
-            .all(|obj| obj_index_of_code(u, c1, obj) != obj_index_of_code(u, c2, obj))
-    })
+    let u = sys.universe();
+    let targets: Vec<(u64, u64)> = b.iter().map(|obj| extractor(u, obj)).collect();
+    let (witness, _) = search_with(sys, phi, a, engine, budget, move |c1, c2| {
+        targets
+            .iter()
+            .all(|&(stride, dom)| (c1 / stride) % dom != (c2 / stride) % dom)
+    })?;
+    Ok(witness)
 }
 
 /// All sinks of a source set: `{ β | A ▷φ β }` — one row of the §3.6 worth
-/// measure, computed with a single exhaustive pair-BFS.
+/// measure, computed with a single pair-BFS (exhaustive, except that the
+/// sweep stops early once every object is known to be a sink).
 pub fn sinks(sys: &System, phi: &Phi, a: &ObjSet) -> Result<ObjSet> {
+    sinks_with(sys, phi, a, Engine::Auto, &CompileBudget::default())
+}
+
+/// [`sinks`] under an explicit engine and budget.
+pub fn sinks_with(
+    sys: &System,
+    phi: &Phi,
+    a: &ObjSet,
+    engine: Engine,
+    budget: &CompileBudget,
+) -> Result<ObjSet> {
     let u = sys.universe();
-    let all: Vec<ObjId> = u.objects().collect();
+    let extractors: Vec<(ObjId, u64, u64)> = u
+        .objects()
+        .map(|obj| {
+            let (stride, dom) = extractor(u, obj);
+            (obj, stride, dom)
+        })
+        .collect();
+    let total = extractors.len();
     let mut out = ObjSet::empty();
-    // Visit every reachable pair; collect every object at which some pair
-    // differs. `found` never returns true, so the BFS is exhaustive.
-    pair_bfs(sys, phi, a, |u, (c1, c2)| {
-        for &obj in &all {
-            if !out.contains(obj) && obj_index_of_code(u, c1, obj) != obj_index_of_code(u, c2, obj)
-            {
+    let mut count = 0usize;
+    search_with(sys, phi, a, engine, budget, |c1, c2| {
+        for &(obj, stride, dom) in &extractors {
+            if !out.contains(obj) && (c1 / stride) % dom != (c2 / stride) % dom {
                 out.insert(obj);
+                count += 1;
             }
         }
-        false
+        count == total
     })?;
     Ok(out)
+}
+
+/// One [`sinks`] row per source set, sharing a single Sat(φ) enumeration
+/// and a single compiled system across all rows; rows run in parallel on
+/// scoped threads. This is what the §3.6 worth matrix calls.
+pub fn sinks_matrix(sys: &System, phi: &Phi, sources: &[ObjSet]) -> Result<Vec<ObjSet>> {
+    sinks_matrix_with(sys, phi, sources, Engine::Auto, &CompileBudget::default())
+}
+
+/// [`sinks_matrix`] under an explicit engine and budget.
+pub fn sinks_matrix_with(
+    sys: &System,
+    phi: &Phi,
+    sources: &[ObjSet],
+    engine: Engine,
+    budget: &CompileBudget,
+) -> Result<Vec<ObjSet>> {
+    if sources.is_empty() {
+        return Ok(Vec::new());
+    }
+    let ns = sys.state_count()?;
+    let u = sys.universe();
+    let codes = sat_codes(sys, phi)?;
+    let cs = if wants_interpreter(engine, ns) {
+        None
+    } else if ns >= MAX_COMPILED_STATES {
+        return Err(Error::Invalid(format!(
+            "state space of {ns} states exceeds the compiled pair-key range"
+        )));
+    } else {
+        let engine = refine_auto(engine, codes.len() as u64, ns);
+        Some(CompiledSystem::compile(sys, engine, budget)?)
+    };
+    let extractors: Vec<(ObjId, u64, u64)> = u
+        .objects()
+        .map(|obj| {
+            let (stride, dom) = extractor(u, obj);
+            (obj, stride, dom)
+        })
+        .collect();
+    let total = extractors.len();
+    let row = |src: &ObjSet| -> Result<ObjSet> {
+        let part = SatPartition::from_codes(u, &codes, src);
+        let mut out = ObjSet::empty();
+        let mut count = 0usize;
+        let found = |c1: u64, c2: u64| {
+            for &(obj, stride, dom) in &extractors {
+                if !out.contains(obj) && (c1 / stride) % dom != (c2 / stride) % dom {
+                    out.insert(obj);
+                    count += 1;
+                }
+            }
+            count == total
+        };
+        match &cs {
+            Some(cs) => compiled_search(cs, &part, found)?,
+            None => interpreted_search(sys, &part, found)?,
+        };
+        Ok(out)
+    };
+    let chunked: Vec<Vec<Result<ObjSet>>> =
+        par_map_chunks(sources, 1, |chunk| chunk.iter().map(&row).collect());
+    chunked.into_iter().flatten().collect()
 }
 
 /// Bounded variant of [`depends`]: only histories of length ≤ `max_len`.
 ///
 /// Used by tests to cross-check the BFS against brute-force enumeration.
+/// One Sat(φ) partition is shared across all enumerated histories.
 pub fn depends_bounded(
     sys: &System,
     phi: &Phi,
@@ -203,8 +669,9 @@ pub fn depends_bounded(
     beta: ObjId,
     max_len: usize,
 ) -> Result<Option<DependsWitness>> {
+    let part = SatPartition::new(sys, phi, a)?;
     for h in crate::history::histories_up_to(sys.num_ops(), max_len) {
-        if let Some(w) = crate::depend::strongly_depends_after(sys, phi, a, beta, &h)? {
+        if let Some(w) = crate::depend::strongly_depends_after_with(sys, &part, beta, &h)? {
             return Ok(Some(DependsWitness {
                 history: h,
                 sigma1: w.sigma1,
@@ -221,6 +688,13 @@ mod tests {
     use crate::expr::Expr;
     use crate::op::{Cmd, Op};
     use crate::universe::{Domain, Universe};
+
+    const ENGINES: [Engine; 4] = [
+        Engine::Auto,
+        Engine::Interpreted,
+        Engine::CompiledDense,
+        Engine::CompiledSparse,
+    ];
 
     /// §3.3 system: δ1: if flag then β ← α else β ← 0;
     /// δ2: (flag ← tt; α ← x).
@@ -337,14 +811,123 @@ mod tests {
     #[test]
     fn witness_history_is_minimal_length() {
         // BFS explores by increasing depth, so the witness history is as
-        // short as possible.
+        // short as possible — under every engine.
         let sys = flag_sys();
         let u = sys.universe();
         let a = u.obj("alpha").unwrap();
         let b = u.obj("beta").unwrap();
-        let w = depends(&sys, &Phi::True, &ObjSet::singleton(a), b)
+        for engine in ENGINES {
+            let w = depends_with(
+                &sys,
+                &Phi::True,
+                &ObjSet::singleton(a),
+                b,
+                engine,
+                &CompileBudget::default(),
+            )
             .unwrap()
             .unwrap();
-        assert_eq!(w.history.len(), 1, "flag=true states allow a 1-step flow");
+            assert_eq!(w.history.len(), 1, "flag=true states allow a 1-step flow");
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_flag_sys() {
+        let sys = flag_sys();
+        let u = sys.universe();
+        let b = u.obj("beta").unwrap();
+        let budget = CompileBudget::default();
+        for src in ["alpha", "beta", "flag", "x"] {
+            let a = ObjSet::singleton(u.obj(src).unwrap());
+            for phi in [
+                Phi::True,
+                Phi::expr(Expr::var(u.obj("flag").unwrap()).not()),
+            ] {
+                let reference = depends_with(&sys, &phi, &a, b, Engine::Interpreted, &budget)
+                    .unwrap()
+                    .map(|w| (w.history, w.sigma1, w.sigma2));
+                let ref_sinks = sinks_with(&sys, &phi, &a, Engine::Interpreted, &budget).unwrap();
+                for engine in [Engine::Auto, Engine::CompiledDense, Engine::CompiledSparse] {
+                    let got = depends_with(&sys, &phi, &a, b, engine, &budget)
+                        .unwrap()
+                        .map(|w| (w.history, w.sigma1, w.sigma2));
+                    assert_eq!(got, reference, "depends mismatch for {src} / {engine:?}");
+                    let got_sinks = sinks_with(&sys, &phi, &a, engine, &budget).unwrap();
+                    assert_eq!(
+                        got_sinks, ref_sinks,
+                        "sinks mismatch for {src} / {engine:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sinks_matrix_matches_rowwise_sinks() {
+        let sys = flag_sys();
+        let u = sys.universe();
+        let sources: Vec<ObjSet> = u.objects().map(ObjSet::singleton).collect();
+        let budget = CompileBudget::default();
+        for engine in ENGINES {
+            let rows = sinks_matrix_with(&sys, &Phi::True, &sources, engine, &budget).unwrap();
+            for (src, row) in sources.iter().zip(&rows) {
+                let single = sinks(&sys, &Phi::True, src).unwrap();
+                assert_eq!(*row, single, "matrix row mismatch for {src:?}");
+            }
+        }
+        assert!(sinks_matrix(&sys, &Phi::True, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn stats_report_engine_and_depth() {
+        let sys = flag_sys();
+        let u = sys.universe();
+        let a = ObjSet::singleton(u.obj("alpha").unwrap());
+        let b = u.obj("beta").unwrap();
+        let budget = CompileBudget::default();
+        for (engine, name) in [
+            (Engine::Interpreted, "interpreted"),
+            (Engine::CompiledDense, "compiled-dense"),
+            (Engine::CompiledSparse, "compiled-sparse"),
+        ] {
+            let (w, stats) = depends_with_stats(&sys, &Phi::True, &a, b, engine, &budget).unwrap();
+            assert_eq!(stats.engine, name);
+            assert!(stats.visited_pairs > 0);
+            assert_eq!(stats.levels as usize, w.unwrap().history.len());
+        }
+        // Exhaustive searches count exactly the same reachable pairs.
+        let exhausted: Vec<SearchStats> = [Engine::Interpreted, Engine::CompiledDense]
+            .into_iter()
+            .map(|engine| {
+                // A goal that never triggers: β differing at an impossible
+                // index keeps the sweep exhaustive.
+                let part = SatPartition::new(&sys, &Phi::True, &a).unwrap();
+                if engine == Engine::Interpreted {
+                    interpreted_search(&sys, &part, |_, _| false).unwrap().1
+                } else {
+                    let cs = CompiledSystem::compile(&sys, engine, &budget).unwrap();
+                    compiled_search(&cs, &part, |_, _| false).unwrap().1
+                }
+            })
+            .collect();
+        assert_eq!(exhausted[0].visited_pairs, exhausted[1].visited_pairs);
+        assert_eq!(exhausted[0].levels, exhausted[1].levels);
+    }
+
+    #[test]
+    fn auto_falls_back_below_budget() {
+        // A budget of zero dense entries forces sparse tables; the result
+        // is unchanged.
+        let sys = flag_sys();
+        let u = sys.universe();
+        let a = ObjSet::singleton(u.obj("alpha").unwrap());
+        let b = u.obj("beta").unwrap();
+        let tiny = CompileBudget {
+            max_dense_entries: 0,
+            max_dense_pair_bits: 0,
+        };
+        let (w, stats) = depends_with_stats(&sys, &Phi::True, &a, b, Engine::Auto, &tiny).unwrap();
+        assert_eq!(stats.engine, "compiled-sparse");
+        assert!(w.is_some());
     }
 }

@@ -92,8 +92,8 @@ impl fmt::Display for WorthDisplay<'_> {
 }
 
 /// Computes `Worth(φ)` over singleton sources: one pair-reachability sweep
-/// per object. Sweeps for different sources are independent and run on
-/// scoped threads.
+/// per object, batched through [`crate::reach::sinks_matrix`] so a single
+/// Sat(φ) enumeration and one compiled system serve every row.
 pub fn worth(sys: &System, phi: &Phi) -> Result<Worth> {
     let objects: Vec<ObjId> = sys.universe().objects().collect();
     let rows = parallel_rows(sys, phi, &objects)?;
@@ -106,37 +106,11 @@ pub fn worth(sys: &System, phi: &Phi) -> Result<Worth> {
     Ok(Worth { paths })
 }
 
-/// Runs `reach::sinks` for every source object, in parallel across a small
-/// pool of scoped threads.
+/// One `reach::sinks` row per source object, delegated to the batched
+/// [`crate::reach::sinks_matrix`] (shared compilation, parallel rows).
 pub(crate) fn parallel_rows(sys: &System, phi: &Phi, sources: &[ObjId]) -> Result<Vec<ObjSet>> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(sources.len().max(1));
-    if threads <= 1 || sources.len() <= 1 {
-        return sources
-            .iter()
-            .map(|&a| crate::reach::sinks(sys, phi, &ObjSet::singleton(a)))
-            .collect();
-    }
-    let results: Vec<Result<ObjSet>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = sources
-            .chunks(sources.len().div_ceil(threads))
-            .map(|chunk| {
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|&a| crate::reach::sinks(sys, phi, &ObjSet::singleton(a)))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("sink sweep thread does not panic"))
-            .collect()
-    });
-    results.into_iter().collect()
+    let sets: Vec<ObjSet> = sources.iter().map(|&a| ObjSet::singleton(a)).collect();
+    crate::reach::sinks_matrix(sys, phi, &sets)
 }
 
 /// Checks monotonicity (Def 3-2) for one instance: if `φ1 ⊆ φ2` then

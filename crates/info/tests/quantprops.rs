@@ -11,7 +11,7 @@ const EPS: f64 = 1e-9;
 
 fn random_system(seed: u64) -> System {
     let mut rng = StdRng::seed_from_u64(seed);
-    let n = 3;
+    let n = 3usize;
     let k = 3i64;
     let objects = (0..n)
         .map(|i| (format!("x{i}"), Domain::int_range(0, k - 1).unwrap()))
@@ -131,8 +131,7 @@ fn equivocation_identity() {
         after
             .marginal(&sys, &ObjSet::singleton(beta))
             .values()
-            .collect::<Vec<_>>()
-            .into_iter(),
+            .collect::<Vec<_>>(),
     );
     let equivocation = sd_info::conditional_entropy(&joint);
     assert!((h_beta - 3.0).abs() < EPS);
