@@ -19,6 +19,17 @@ fn yes(b: bool) -> String {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An optional argument re-runs just one performance section (p2, p3
+    // or p5) instead of the whole harness.
+    if let Some(section) = std::env::args().nth(1) {
+        match section.as_str() {
+            "p2" => p2_pair_bfs()?,
+            "p3" => p3_static_vs_semantic()?,
+            "p5" => p5_provers()?,
+            other => return Err(format!("unknown section {other:?} (try p2, p3, p5)").into()),
+        }
+        return Ok(());
+    }
     let started = Instant::now();
     e1_variety()?;
     e2_reflexivity()?;
@@ -41,6 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     e19_mechanisms()?;
     p2_pair_bfs()?;
     p3_static_vs_semantic()?;
+    p5_provers()?;
     println!("\ntotal harness time: {:.2?}", started.elapsed());
     Ok(())
 }
@@ -978,6 +990,255 @@ fn p2_pair_bfs() -> Result<(), Box<dyn std::error::Error>> {
     );
     std::fs::write("BENCH_pair_bfs.json", json)?;
     println!("wrote BENCH_pair_bfs.json");
+    Ok(())
+}
+
+/// P5: prover workloads — the pre-Oracle sequential sweeps (one fresh
+/// compile-and-search per cylinder class / cover piece) vs the shared
+/// compiled Oracle with parallel kernels. Prints the comparison table and
+/// emits `BENCH_provers.json` for the committed record.
+fn p5_provers() -> Result<(), Box<dyn std::error::Error>> {
+    use sd_core::cover::PieceStrategy;
+    use sd_core::{reach, solve, CompileBudget, Engine, StateSet};
+
+    println!("\n== P5: prover engines — sequential per-call vs shared Oracle ==");
+    let budget = CompileBudget::default();
+    let median = |mut samples: Vec<f64>| -> f64 {
+        samples.sort_by(|a, b| a.total_cmp(b));
+        samples[samples.len() / 2]
+    };
+    // Adaptive repetition: fast configurations get 5 samples, slow ones
+    // are not run to death.
+    let enough = |samples: &[f64]| samples.len() >= 5 || (samples.len() >= 2 && samples[0] > 500.0);
+
+    let mut t = Table::new(&[
+        "workload",
+        "states",
+        "units",
+        "sequential ms",
+        "oracle ms",
+        "speedup",
+        "agree",
+    ]);
+    let mut json_rows = Vec::new();
+
+    // Maximal-solution sweep: every `=A=` cylinder class must be decided.
+    // Two-object source sets keep the per-class pair searches non-trivial.
+    // Guarded-copy rows show the gain on thin operation bodies; mixing
+    // rows (wide modular-sum bodies, isolated sink, exhaustive "no" per
+    // class) show the regime the Oracle exists for — per-call row
+    // re-interpretation dominates the sequential path there.
+    let solve_configs: Vec<(String, sd_core::System)> = vec![
+        (
+            "maximal solution guarded n=7 k=3".into(),
+            sd_bench::workloads::random_system(7, 3, 6, 11)?,
+        ),
+        (
+            "maximal solution mixing n=7 k=3".into(),
+            sd_bench::workloads::mixing_system(7, 3, 4)?,
+        ),
+        (
+            "maximal solution mixing n=6 k=4".into(),
+            sd_bench::workloads::mixing_system(6, 4, 4)?,
+        ),
+    ];
+    for (name, sys) in solve_configs {
+        let u = sys.universe();
+        let mut sources = ObjSet::singleton(u.obj("x0")?);
+        sources.insert(u.obj("x1")?);
+        let sink = u.objects().last().expect("non-empty universe");
+        let ns = sys.state_count()?;
+        let n_classes = sd_core::depend::classes(&sys, &Phi::True, &sources)?.len();
+
+        // Pre-Oracle sequential path, exactly as the seed implemented it:
+        // enumerate the `=A=` classes as decoded states, then one full
+        // `depends` call — fresh compile, fresh search state — per class.
+        let mut samples = Vec::new();
+        let seq_solution = loop {
+            let t0 = Instant::now();
+            let mut sol = StateSet::new(ns);
+            for class in sd_core::depend::classes(&sys, &Phi::True, &sources)? {
+                let mut cyl = StateSet::new(ns);
+                for s in &class {
+                    cyl.insert(s.encode(u));
+                }
+                let phi_c = Phi::from_set(cyl.clone());
+                if reach::depends_with(&sys, &phi_c, &sources, sink, Engine::Auto, &budget)?
+                    .is_none()
+                {
+                    sol.union_with(&cyl);
+                }
+            }
+            samples.push(t0.elapsed().as_secs_f64() * 1e3);
+            if enough(&samples) {
+                break sol;
+            }
+        };
+        let seq_ms = median(samples);
+
+        let mut samples = Vec::new();
+        let (oracle_solution, compiles) = loop {
+            let t0 = Instant::now();
+            let (phi_max, stats) =
+                solve::unique_maximal_independent_solution_stats(&sys, &sources, sink)?;
+            samples.push(t0.elapsed().as_secs_f64() * 1e3);
+            if enough(&samples) {
+                break (phi_max, stats.compiles);
+            }
+        };
+        let oracle_ms = median(samples);
+        let agree = oracle_solution.sat(&sys)? == seq_solution && compiles == 1;
+
+        t.row(&[
+            name.clone(),
+            ns.to_string(),
+            format!("{n_classes} classes"),
+            format!("{seq_ms:.3}"),
+            format!("{oracle_ms:.3}"),
+            format!("{:.2}x", seq_ms / oracle_ms),
+            yes(agree),
+        ]);
+        json_rows.push(format!(
+            concat!(
+                "    {{\"workload\": {:?}, \"states\": {}, \"classes\": {}, ",
+                "\"sequential_ms\": {:.3}, \"oracle_ms\": {:.3}, ",
+                "\"speedup\": {:.2}, \"agree\": {}}}"
+            ),
+            name,
+            ns,
+            n_classes,
+            seq_ms,
+            oracle_ms,
+            seq_ms / oracle_ms,
+            agree
+        ));
+    }
+
+    // Separation-of-Variety sweep: one piece proof per cover element.
+    let sov_configs: Vec<(String, i64, sd_core::System)> = vec![
+        (
+            "separation of variety guarded n=6 k=3".into(),
+            3,
+            sd_bench::workloads::random_system(6, 3, 5, 11)?,
+        ),
+        (
+            "separation of variety mixing n=7 k=3".into(),
+            3,
+            sd_bench::workloads::mixing_system(7, 3, 4)?,
+        ),
+    ];
+    for (name, k, sys) in sov_configs {
+        let u = sys.universe();
+        let ids: Vec<_> = u.objects().collect();
+        let a = ObjSet::singleton(ids[0]);
+        let beta = *ids.last().expect("non-empty universe");
+        let ns = sys.state_count()?;
+        // Split on x1 ∧ x2 jointly so the cover has k² pieces, each
+        // A-independent, together covering Σ.
+        let (x1, x2) = (ids[1], ids[2]);
+        let cover: Vec<Phi> = (0..k)
+            .flat_map(|v1| {
+                (0..k).map(move |v2| {
+                    Phi::expr(
+                        Expr::var(x1)
+                            .eq(Expr::int(v1))
+                            .and(Expr::var(x2).eq(Expr::int(v2))),
+                    )
+                })
+            })
+            .collect();
+
+        // Pre-Oracle sequential path, as the seed implemented Thm 4-5:
+        // per-piece independence checks, the coverage check, then one
+        // fresh exact search per piece.
+        let mut samples = Vec::new();
+        let seq_proved = loop {
+            let t0 = Instant::now();
+            let mut proved = true;
+            'seq: {
+                for piece in &cover {
+                    if !sd_core::classify::is_independent(&sys, piece, &a)? {
+                        proved = false;
+                        break 'seq;
+                    }
+                }
+                let mut union = StateSet::new(ns);
+                for piece in &cover {
+                    union.union_with(&piece.sat(&sys)?);
+                }
+                if union.count() != ns {
+                    proved = false;
+                    break 'seq;
+                }
+                for piece in &cover {
+                    let conj = Phi::True.and(piece.clone());
+                    if reach::depends_with(&sys, &conj, &a, beta, Engine::Auto, &budget)?.is_some()
+                    {
+                        proved = false;
+                        break 'seq;
+                    }
+                }
+            }
+            samples.push(t0.elapsed().as_secs_f64() * 1e3);
+            if enough(&samples) {
+                break proved;
+            }
+        };
+        let seq_ms = median(samples);
+
+        let mut samples = Vec::new();
+        let oracle_proved = loop {
+            let t0 = Instant::now();
+            let out = sd_core::cover::prove_separation_of_variety(
+                &sys,
+                &Phi::True,
+                &cover,
+                &a,
+                beta,
+                PieceStrategy::ExactBfs,
+            )?;
+            samples.push(t0.elapsed().as_secs_f64() * 1e3);
+            if enough(&samples) {
+                break out.is_proved();
+            }
+        };
+        let oracle_ms = median(samples);
+        let agree = seq_proved == oracle_proved;
+
+        t.row(&[
+            name.clone(),
+            ns.to_string(),
+            format!("{} pieces", cover.len()),
+            format!("{seq_ms:.3}"),
+            format!("{oracle_ms:.3}"),
+            format!("{:.2}x", seq_ms / oracle_ms),
+            yes(agree),
+        ]);
+        json_rows.push(format!(
+            concat!(
+                "    {{\"workload\": {:?}, \"states\": {}, \"pieces\": {}, ",
+                "\"sequential_ms\": {:.3}, \"oracle_ms\": {:.3}, ",
+                "\"speedup\": {:.2}, \"agree\": {}}}"
+            ),
+            name,
+            ns,
+            cover.len(),
+            seq_ms,
+            oracle_ms,
+            seq_ms / oracle_ms,
+            agree
+        ));
+    }
+
+    print!("{}", t.render());
+    println!("expected: oracle ≥5x on the maximal-solution workloads with ≥64 classes");
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"provers\",\n  \"unit\": \"wall_ms\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_provers.json", json)?;
+    println!("wrote BENCH_provers.json");
     Ok(())
 }
 

@@ -34,6 +34,49 @@ pub fn random_system(n: usize, k: i64, ops: usize, seed: u64) -> Result<System> 
     Ok(System::new(u, op_list))
 }
 
+/// A wide-bodied converging "mixing" system with a single deterministic
+/// operation: one ascending sweep rewrites each of `x1 … x(n−2)` by a
+/// modular sum of up to `width` *already-updated* predecessors
+/// (`x_i ← (x_(i−1) + … + x_(i−width)) mod k`, sequential semantics),
+/// while `x0` is never written and the last object is an isolated sink
+/// that no operation reads or writes.
+///
+/// Three properties make this the stress case for repeated-query engines:
+///
+/// - **Every per-class query is an exhaustive "no".** The sink never
+///   changes, so differences confined to other objects can never reach
+///   it and the pair search must drain its whole frontier — no early
+///   exits to hide setup costs behind.
+/// - **The pair frontier dies fast.** Because each update reads only
+///   already-rewritten predecessors, one sweep collapses `x1 … x(n−2)`
+///   to functions of `x0` alone: state pairs differing anywhere but `x0`
+///   converge within two steps, so the search visits O(roots) pairs
+///   instead of a long orbit.
+/// - **Successor rows are expensive to interpret.** The sweep body costs
+///   ~`(n − 2) · width` AST node evaluations per state, against two
+///   table lookups per compiled pair expansion. Engines that
+///   re-interpret rows per query (the per-call sequential path) pay that
+///   for every class's states; a shared compiled Oracle pays it once per
+///   *sweep* of queries.
+pub fn mixing_system(n: usize, k: i64, width: usize) -> Result<System> {
+    assert!(n >= 3, "mixing_system needs a seed, a mixer, and a sink");
+    let objects = (0..n)
+        .map(|i| Ok((format!("x{i}"), Domain::int_range(0, k - 1)?)))
+        .collect::<Result<Vec<_>>>()?;
+    let u = Universe::new(objects)?;
+    let ids: Vec<_> = u.objects().collect();
+    let m = n - 1; // objects that mix; ids[m] is the isolated sink
+    let mut sweep = Vec::with_capacity(m - 1);
+    for i in 1..m {
+        let mut body = Expr::var(ids[i - 1]);
+        for j in 2..=width.min(i) {
+            body = body.add(Expr::var(ids[i - j]));
+        }
+        sweep.push(Cmd::assign(ids[i], body.modulo(Expr::int(k))));
+    }
+    Ok(System::new(u, vec![Op::from_cmd("mix", Cmd::Seq(sweep))]))
+}
+
 /// A chain-copy system: `x0 → x1 → … → x(n−1)`, one guarded copy per
 /// hop. The exact checker must walk the whole chain; Strong Dependency
 /// Induction discharges it per operation.
@@ -225,6 +268,26 @@ mod tests {
         for op in a.op_ids() {
             assert_eq!(a.apply(op, &s).unwrap(), b.apply(op, &s).unwrap());
         }
+    }
+
+    #[test]
+    fn mixing_spreads_variety_but_spares_the_sink() {
+        let sys = mixing_system(5, 3, 3).unwrap();
+        sys.validate().unwrap();
+        let u = sys.universe();
+        let x0 = sd_core::ObjSet::singleton(u.obj("x0").unwrap());
+        // Mixing carries x0's variety to every other mixer...
+        assert!(
+            sd_core::reach::depends(&sys, &sd_core::Phi::True, &x0, u.obj("x2").unwrap())
+                .unwrap()
+                .is_some()
+        );
+        // ...but the isolated sink is untouched: an exhaustive "no".
+        assert!(
+            sd_core::reach::depends(&sys, &sd_core::Phi::True, &x0, u.obj("x4").unwrap())
+                .unwrap()
+                .is_none()
+        );
     }
 
     #[test]

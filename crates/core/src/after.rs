@@ -11,6 +11,7 @@ use std::collections::{HashSet, VecDeque};
 use crate::constraint::{Phi, StateSet};
 use crate::error::{Error, Result};
 use crate::history::{History, OpId};
+use crate::oracle::Oracle;
 use crate::state::State;
 use crate::system::System;
 
@@ -46,6 +47,20 @@ pub fn after_history_phi(sys: &System, phi: &Phi, h: &History) -> Result<Phi> {
 /// memoization suffices. `max_sets` bounds the exploration; the default used
 /// by [`reachable_images`] is generous for the systems in this crate.
 pub fn reachable_images_bounded(sys: &System, phi: &Phi, max_sets: usize) -> Result<Vec<StateSet>> {
+    let oracle = Oracle::new(sys)?;
+    reachable_images_bounded_with(&oracle, phi, max_sets)
+}
+
+/// [`reachable_images_bounded`] against a prepared [`Oracle`]: each BFS
+/// step maps the current image through compiled successor rows instead of
+/// interpreting every operation per state (AST fallback when the Oracle
+/// runs interpreted).
+pub fn reachable_images_bounded_with(
+    oracle: &Oracle,
+    phi: &Phi,
+    max_sets: usize,
+) -> Result<Vec<StateSet>> {
+    let sys = oracle.system();
     let start = phi.sat(sys)?;
     let mut seen: HashSet<StateSet> = HashSet::new();
     let mut queue: VecDeque<StateSet> = VecDeque::new();
@@ -59,8 +74,29 @@ pub fn reachable_images_bounded(sys: &System, phi: &Phi, max_sets: usize) -> Res
                 "more than {max_sets} distinct [H]φ image sets; raise the bound"
             )));
         }
-        for op in sys.op_ids() {
-            let next = image_op(sys, &cur, op)?;
+        let codes: Vec<u64> = cur.iter().collect();
+        let images: Vec<StateSet> = match oracle.with_rows(&codes, |cs, memo| {
+            (0..cs.num_ops())
+                .map(|op| {
+                    let mut img = StateSet::new(cur.capacity());
+                    for &code in &codes {
+                        let next = cs.succ(memo, code, op);
+                        if next == crate::compiled::POISON {
+                            return Err(cs.poison_error(code, op));
+                        }
+                        img.insert(next);
+                    }
+                    Ok(img)
+                })
+                .collect::<Result<Vec<_>>>()
+        }) {
+            Some(computed) => computed?,
+            None => sys
+                .op_ids()
+                .map(|op| image_op(sys, &cur, op))
+                .collect::<Result<_>>()?,
+        };
+        for next in images {
             if seen.insert(next.clone()) {
                 queue.push_back(next);
             }
@@ -71,7 +107,13 @@ pub fn reachable_images_bounded(sys: &System, phi: &Phi, max_sets: usize) -> Res
 
 /// [`reachable_images_bounded`] with a default bound of 65 536 sets.
 pub fn reachable_images(sys: &System, phi: &Phi) -> Result<Vec<StateSet>> {
-    reachable_images_bounded(sys, phi, 1 << 16)
+    let oracle = Oracle::new(sys)?;
+    reachable_images_with(&oracle, phi)
+}
+
+/// [`reachable_images`] against a prepared [`Oracle`].
+pub fn reachable_images_with(oracle: &Oracle, phi: &Phi) -> Result<Vec<StateSet>> {
+    reachable_images_bounded_with(oracle, phi, 1 << 16)
 }
 
 /// Theorem 6-1 as a runtime check: `φ(σ) ⊃ [H]φ(H(σ))` for all σ, H of

@@ -18,14 +18,23 @@
 //! All checks here are exact, by enumeration of the finite state space. The
 //! autonomy checks exploit the product characterization derived from
 //! Thm 5-1: φ is A-autonomous iff Sat(φ) = proj_A(Sat) × proj_Ā(Sat).
-
-use std::collections::HashSet;
+//!
+//! Enumeration works over packed state codes: a state's projection onto A
+//! (or onto its complement) is summarised by the arithmetic key
+//! `Σ_{α∈A} stride_α · digit_α(code)`, which is injective on projection
+//! classes, so grouping needs only [`crate::fastmap`] integer containers —
+//! no `State` is decoded until a witness is returned. The invariance check
+//! additionally reads successor rows from a compiled [`Oracle`] when the
+//! state space compiles, falling back to AST interpretation otherwise.
 
 use crate::constraint::Phi;
 use crate::error::Result;
+use crate::fastmap::{U64Set, U64U64Map};
+use crate::history::OpId;
+use crate::oracle::Oracle;
 use crate::state::State;
 use crate::system::System;
-use crate::universe::ObjSet;
+use crate::universe::{proj_key, ObjSet};
 
 /// Whether φ is A-independent (Def 3-1):
 /// `∀σ1 =A= σ2: φ(σ1) = φ(σ2)`.
@@ -34,21 +43,29 @@ pub fn is_independent(sys: &System, phi: &Phi, a: &ObjSet) -> Result<bool> {
 }
 
 /// A pair of states violating A-independence, if any.
+///
+/// The witness is canonical: scanning states in code order, it is the
+/// first (satisfying, violating) pair completed within one `=A=` class.
 pub fn independence_witness(sys: &System, phi: &Phi, a: &ObjSet) -> Result<Option<(State, State)>> {
     // Group states by their projection outside A; φ must be constant on
-    // each group.
-    let mut groups: std::collections::HashMap<Vec<u32>, (Option<State>, Option<State>)> =
-        std::collections::HashMap::new();
-    for sigma in sys.states()? {
-        let key = sigma.project_complement(a);
-        let holds = phi.holds(sys, &sigma)?;
-        let entry = groups.entry(key).or_default();
-        let slot = if holds { &mut entry.0 } else { &mut entry.1 };
-        if slot.is_none() {
-            *slot = Some(sigma);
+    // each group. Groups are keyed by the arithmetic complement key.
+    let u = sys.universe();
+    let n = sys.state_count()?;
+    let sat = phi.sat(sys)?;
+    let dims = u.dims();
+    let mut first_true = U64U64Map::new();
+    let mut first_false = U64U64Map::new();
+    for code in 0..n {
+        let key = code - proj_key(&dims, a, code);
+        if sat.contains(code) {
+            if first_true.get(key).is_none() {
+                first_true.insert(key, code);
+            }
+        } else if first_false.get(key).is_none() {
+            first_false.insert(key, code);
         }
-        if let (Some(t), Some(f)) = (&entry.0, &entry.1) {
-            return Ok(Some((t.clone(), f.clone())));
+        if let (Some(t), Some(f)) = (first_true.get(key), first_false.get(key)) {
+            return Ok(Some((State::decode(u, t), State::decode(u, f))));
         }
     }
     Ok(None)
@@ -57,19 +74,21 @@ pub fn independence_witness(sys: &System, phi: &Phi, a: &ObjSet) -> Result<Optio
 /// Whether φ is A-strict (Def 5-1):
 /// `∀σ1, σ2: σ1.A = σ2.A ⊃ φ(σ1) = φ(σ2)`.
 pub fn is_strict(sys: &System, phi: &Phi, a: &ObjSet) -> Result<bool> {
-    let mut groups: std::collections::HashMap<Vec<u32>, (bool, bool)> =
-        std::collections::HashMap::new();
-    for sigma in sys.states()? {
-        let key = sigma.project(a);
-        let holds = phi.holds(sys, &sigma)?;
-        let entry = groups.entry(key).or_default();
-        if holds {
-            entry.0 = true;
-        } else {
-            entry.1 = true;
-        }
-        if entry.0 && entry.1 {
+    let n = sys.state_count()?;
+    let sat = phi.sat(sys)?;
+    let dims = sys.universe().dims();
+    // Per `σ.A` projection class, a 2-bit mask: bit 0 = saw a satisfying
+    // state, bit 1 = saw a violating one. Both ⇒ not strict.
+    let mut seen = U64U64Map::new();
+    for code in 0..n {
+        let key = proj_key(&dims, a, code);
+        let bit = if sat.contains(code) { 1 } else { 2 };
+        let cur = seen.get(key).unwrap_or(0);
+        if cur | bit == 3 {
             return Ok(false);
+        }
+        if cur | bit != cur {
+            seen.insert(key, cur | bit);
         }
     }
     Ok(true)
@@ -81,15 +100,16 @@ pub fn is_strict(sys: &System, phi: &Phi, a: &ObjSet) -> Result<bool> {
 /// Checked through the product form: Sat(φ) must equal the full cross
 /// product of its projection onto A and its projection onto the complement.
 pub fn is_autonomous_relative(sys: &System, phi: &Phi, a: &ObjSet) -> Result<bool> {
-    let mut proj_a: HashSet<Vec<u32>> = HashSet::new();
-    let mut proj_c: HashSet<Vec<u32>> = HashSet::new();
+    let sat = phi.sat(sys)?;
+    let dims = sys.universe().dims();
+    let mut proj_a = U64Set::new();
+    let mut proj_c = U64Set::new();
     let mut sat_count: u128 = 0;
-    for sigma in sys.states()? {
-        if phi.holds(sys, &sigma)? {
-            sat_count += 1;
-            proj_a.insert(sigma.project(a));
-            proj_c.insert(sigma.project_complement(a));
-        }
+    for code in sat.iter() {
+        sat_count += 1;
+        let p = proj_key(&dims, a, code);
+        proj_a.insert(p);
+        proj_c.insert(code - p);
     }
     Ok(sat_count == (proj_a.len() as u128) * (proj_c.len() as u128))
 }
@@ -100,14 +120,14 @@ pub fn is_autonomous_relative(sys: &System, phi: &Phi, a: &ObjSet) -> Result<boo
 /// its per-object projections.
 pub fn is_autonomous(sys: &System, phi: &Phi) -> Result<bool> {
     let u = sys.universe();
-    let mut per_obj: Vec<HashSet<u32>> = vec![HashSet::new(); u.num_objects()];
+    let sat = phi.sat(sys)?;
+    let dims = u.dims();
+    let mut per_obj: Vec<Vec<bool>> = dims.iter().map(|&(_, d)| vec![false; d as usize]).collect();
     let mut sat_count: u128 = 0;
-    for sigma in sys.states()? {
-        if phi.holds(sys, &sigma)? {
-            sat_count += 1;
-            for (i, set) in per_obj.iter_mut().enumerate() {
-                set.insert(sigma.index(crate::universe::ObjId::from_index(i)));
-            }
+    for code in sat.iter() {
+        sat_count += 1;
+        for (seen, &(stride, dom)) in per_obj.iter_mut().zip(&dims) {
+            seen[((code / stride) % dom) as usize] = true;
         }
     }
     if sat_count == 0 {
@@ -115,7 +135,10 @@ pub fn is_autonomous(sys: &System, phi: &Phi) -> Result<bool> {
         // witnesses).
         return Ok(true);
     }
-    let product: u128 = per_obj.iter().map(|s| s.len() as u128).product();
+    let product: u128 = per_obj
+        .iter()
+        .map(|s| s.iter().filter(|&&b| b).count() as u128)
+        .product();
     Ok(sat_count == product)
 }
 
@@ -125,10 +148,44 @@ pub fn is_invariant(sys: &System, phi: &Phi) -> Result<bool> {
 }
 
 /// A `(state, op)` pair escaping φ, if φ is not invariant.
-pub fn invariance_witness(
-    sys: &System,
-    phi: &Phi,
-) -> Result<Option<(State, crate::history::OpId)>> {
+///
+/// The witness is canonical: the first escaping pair in (state code,
+/// operation index) order. Successors come from compiled transition rows
+/// when the system compiles; the AST interpreter is the fallback.
+pub fn invariance_witness(sys: &System, phi: &Phi) -> Result<Option<(State, OpId)>> {
+    let oracle = Oracle::new(sys)?;
+    invariance_witness_with(&oracle, phi)
+}
+
+/// [`is_invariant`] against a prepared [`Oracle`], sharing its compiled
+/// tables with the caller's other queries.
+pub(crate) fn is_invariant_with(oracle: &Oracle, phi: &Phi) -> Result<bool> {
+    Ok(invariance_witness_with(oracle, phi)?.is_none())
+}
+
+/// [`invariance_witness`] against a prepared [`Oracle`].
+pub(crate) fn invariance_witness_with(oracle: &Oracle, phi: &Phi) -> Result<Option<(State, OpId)>> {
+    let sys = oracle.system();
+    let u = sys.universe();
+    let sat = phi.sat(sys)?;
+    let codes: Vec<u64> = sat.iter().collect();
+    if let Some(found) = oracle.with_rows(&codes, |cs, memo| {
+        for &code in &codes {
+            for op in 0..cs.num_ops() {
+                let next = cs.succ(memo, code, op);
+                if next == crate::compiled::POISON {
+                    return Err(cs.poison_error(code, op));
+                }
+                if !sat.contains(next) {
+                    return Ok(Some((code, op)));
+                }
+            }
+        }
+        Ok(None)
+    }) {
+        return Ok(found?.map(|(code, op)| (State::decode(u, code), OpId(op as u32))));
+    }
+    // Interpreted fallback: the state space exceeds the compiled range.
     for sigma in sys.states()? {
         if !phi.holds(sys, &sigma)? {
             continue;
@@ -299,6 +356,131 @@ mod tests {
                     .all(|s2| phi.holds(&sys, &s2.substitute(&set, s1)).unwrap())
             });
             assert_eq!(fast, literal, "mismatch for {set:?}");
+        }
+    }
+
+    /// Satellite check for the fastmap rewrite: every classification and —
+    /// crucially — every *witness* matches the straightforward
+    /// `HashMap<Vec<u32>, _>` reference implementation the module used
+    /// before arithmetic projection keys.
+    #[test]
+    fn fastmap_kernels_match_reference_witnesses() {
+        use std::collections::{HashMap, HashSet};
+
+        fn reference_independence_witness(
+            sys: &System,
+            phi: &Phi,
+            a: &ObjSet,
+        ) -> Option<(State, State)> {
+            let mut groups: HashMap<Vec<u32>, (Option<State>, Option<State>)> = HashMap::new();
+            for sigma in sys.states().unwrap() {
+                let key = sigma.project_complement(a);
+                let holds = phi.holds(sys, &sigma).unwrap();
+                let entry = groups.entry(key).or_default();
+                let slot = if holds { &mut entry.0 } else { &mut entry.1 };
+                if slot.is_none() {
+                    *slot = Some(sigma);
+                }
+                if let (Some(t), Some(f)) = (&entry.0, &entry.1) {
+                    return Some((t.clone(), f.clone()));
+                }
+            }
+            None
+        }
+
+        fn reference_is_strict(sys: &System, phi: &Phi, a: &ObjSet) -> bool {
+            let mut groups: HashMap<Vec<u32>, (bool, bool)> = HashMap::new();
+            for sigma in sys.states().unwrap() {
+                let key = sigma.project(a);
+                let entry = groups.entry(key).or_default();
+                if phi.holds(sys, &sigma).unwrap() {
+                    entry.0 = true;
+                } else {
+                    entry.1 = true;
+                }
+                if entry.0 && entry.1 {
+                    return false;
+                }
+            }
+            true
+        }
+
+        fn reference_autonomous_relative(sys: &System, phi: &Phi, a: &ObjSet) -> bool {
+            let mut pa: HashSet<Vec<u32>> = HashSet::new();
+            let mut pc: HashSet<Vec<u32>> = HashSet::new();
+            let mut count: u128 = 0;
+            for sigma in sys.states().unwrap() {
+                if phi.holds(sys, &sigma).unwrap() {
+                    count += 1;
+                    pa.insert(sigma.project(a));
+                    pc.insert(sigma.project_complement(a));
+                }
+            }
+            count == (pa.len() as u128) * (pc.len() as u128)
+        }
+
+        fn reference_invariance_witness(sys: &System, phi: &Phi) -> Option<(State, OpId)> {
+            for sigma in sys.states().unwrap() {
+                if !phi.holds(sys, &sigma).unwrap() {
+                    continue;
+                }
+                for op in sys.op_ids() {
+                    let next = sys.apply(op, &sigma).unwrap();
+                    if !phi.holds(sys, &next).unwrap() {
+                        return Some((sigma, op));
+                    }
+                }
+            }
+            None
+        }
+
+        let sys = sys();
+        let u = sys.universe();
+        let a = u.obj("alpha").unwrap();
+        let b = u.obj("beta").unwrap();
+        let m = u.obj("m").unwrap();
+        let phis = [
+            Phi::True,
+            Phi::False,
+            Phi::expr(Expr::var(a).eq(Expr::var(b))),
+            Phi::expr(Expr::var(m).eq(Expr::int(0))),
+            Phi::expr(Expr::var(b).eq(Expr::int(0)).or(Expr::var(m).lt(Expr::var(a)))),
+            Phi::expr(
+                Expr::var(a)
+                    .le(Expr::int(1))
+                    .implies(Expr::var(b).eq(Expr::int(2))),
+            ),
+        ];
+        let sets = [
+            ObjSet::empty(),
+            ObjSet::singleton(a),
+            ObjSet::singleton(m),
+            ObjSet::from_iter([a, b]),
+            ObjSet::from_iter([a, b, m]),
+        ];
+        for phi in &phis {
+            for set in &sets {
+                assert_eq!(
+                    independence_witness(&sys, phi, set).unwrap(),
+                    reference_independence_witness(&sys, phi, set),
+                    "independence witness diverged for {phi:?} / {set:?}"
+                );
+                assert_eq!(
+                    is_strict(&sys, phi, set).unwrap(),
+                    reference_is_strict(&sys, phi, set),
+                    "strictness diverged for {phi:?} / {set:?}"
+                );
+                assert_eq!(
+                    is_autonomous_relative(&sys, phi, set).unwrap(),
+                    reference_autonomous_relative(&sys, phi, set),
+                    "relative autonomy diverged for {phi:?} / {set:?}"
+                );
+            }
+            assert_eq!(
+                invariance_witness(&sys, phi).unwrap(),
+                reference_invariance_witness(&sys, phi),
+                "invariance witness diverged for {phi:?}"
+            );
         }
     }
 }

@@ -385,11 +385,16 @@ fn fill_dense_chunk(sys: &System, chunk: &mut [u32], start_code: u64) {
     }
 }
 
-/// Number of workers for scoped-thread parallel sections.
+/// Number of workers for scoped-thread parallel sections. Cached:
+/// `available_parallelism` is a syscall on Linux, and this is consulted
+/// once per BFS level on the search hot path.
 pub(crate) fn worker_count() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Chunk length used by [`par_map_chunks`] for `len` items with the

@@ -162,6 +162,27 @@ impl Phi {
     pub fn entails(&self, sys: &System, other: &Phi) -> Result<bool> {
         Ok(self.sat(sys)?.is_subset(&other.sat(sys)?))
     }
+
+    /// Structural equality, used to intern Sat(φ) enumerations inside an
+    /// [`crate::oracle::Oracle`]. Conservative by design: native
+    /// predicates compare by name *and* closure identity, so two
+    /// separately constructed but extensionally equal constraints merely
+    /// miss the cache — a false negative, never a wrong hit.
+    pub(crate) fn cache_eq(&self, other: &Phi) -> bool {
+        match (self, other) {
+            (Phi::True, Phi::True) | (Phi::False, Phi::False) => true,
+            (Phi::Expr(a), Phi::Expr(b)) => a == b,
+            (Phi::Pred { name: n1, f: f1 }, Phi::Pred { name: n2, f: f2 }) => {
+                n1 == n2 && Arc::ptr_eq(f1, f2)
+            }
+            (Phi::Set(a), Phi::Set(b)) => a == b,
+            (Phi::Not(a), Phi::Not(b)) => a.cache_eq(b),
+            (Phi::And(a1, a2), Phi::And(b1, b2)) | (Phi::Or(a1, a2), Phi::Or(b1, b2)) => {
+                a1.cache_eq(b1) && a2.cache_eq(b2)
+            }
+            _ => false,
+        }
+    }
 }
 
 #[cfg(test)]

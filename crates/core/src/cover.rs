@@ -11,8 +11,10 @@
 
 use crate::certificate::{Certificate, Fact, ProofOutcome};
 use crate::classify;
+use crate::compiled::par_map_chunks;
 use crate::constraint::{Phi, StateSet};
 use crate::error::Result;
+use crate::oracle::Oracle;
 use crate::system::System;
 use crate::universe::{ObjId, ObjSet};
 
@@ -46,6 +48,9 @@ pub enum PieceStrategy {
 
 /// Theorem 4-5 as a proof technique: given an A-independent cover `{φi}`,
 /// if `¬A ▷(φ∧φi) β` for every i, then `¬A ▷φ β`.
+///
+/// Compiles the system once and discharges every piece against the shared
+/// [`Oracle`]; see [`prove_separation_of_variety_with`].
 pub fn prove_separation_of_variety(
     sys: &System,
     phi: &Phi,
@@ -54,6 +59,23 @@ pub fn prove_separation_of_variety(
     beta: ObjId,
     strategy: PieceStrategy,
 ) -> Result<ProofOutcome> {
+    let oracle = Oracle::new(sys)?;
+    prove_separation_of_variety_with(&oracle, phi, cover, a, beta, strategy)
+}
+
+/// [`prove_separation_of_variety`] against a prepared [`Oracle`]: the
+/// pieces are discharged in parallel over the shared compiled system, then
+/// merged in piece order so the reported first failure (and the recorded
+/// sub-certificates) are identical to a sequential sweep.
+pub fn prove_separation_of_variety_with(
+    oracle: &Oracle,
+    phi: &Phi,
+    cover: &[Phi],
+    a: &ObjSet,
+    beta: ObjId,
+    strategy: PieceStrategy,
+) -> Result<ProofOutcome> {
+    let sys = oracle.system();
     if cover.is_empty() {
         return Ok(ProofOutcome::Inapplicable("empty cover".into()));
     }
@@ -85,37 +107,60 @@ pub fn prove_separation_of_variety(
     );
     cert.record(Fact::Independent(format!("{{{}}}", a_names.join(", "))));
     cert.record(Fact::CoversStateSpace(cover.len()));
-    for (i, piece) in cover.iter().enumerate() {
-        let conj = phi.clone().and(piece.clone());
-        let sub = match strategy {
-            PieceStrategy::ExactBfs => {
-                if crate::reach::depends(sys, &conj, a, beta)?.is_some() {
-                    return Ok(ProofOutcome::Inapplicable(format!(
-                        "piece {i}: A ▷(φ∧φ{i}) β holds — no proof possible"
-                    )));
-                }
-                let mut c = Certificate::new("exact pair reachability", format!("¬ A ▷(φ∧φ{i}) β"));
-                c.record(Fact::Note("pair-BFS exhausted with no β-difference".into()));
-                c
+    // Each piece proof is independent of the others, so run them in
+    // parallel against the shared Oracle and replay the outcomes in piece
+    // order (first failure wins, exactly as the sequential loop reported).
+    let indices: Vec<usize> = (0..cover.len()).collect();
+    let outcomes: Vec<Result<std::result::Result<Certificate, String>>> =
+        par_map_chunks(&indices, 1, |chunk| {
+            chunk
+                .iter()
+                .map(|&i| -> Result<std::result::Result<Certificate, String>> {
+                    let conj = phi.clone().and(cover[i].clone());
+                    match strategy {
+                        PieceStrategy::ExactBfs => {
+                            if oracle.depends(&conj, a, beta)?.is_some() {
+                                return Ok(Err(format!(
+                                    "piece {i}: A ▷(φ∧φ{i}) β holds — no proof possible"
+                                )));
+                            }
+                            let mut c = Certificate::new(
+                                "exact pair reachability",
+                                format!("¬ A ▷(φ∧φ{i}) β"),
+                            );
+                            c.record(Fact::Note("pair-BFS exhausted with no β-difference".into()));
+                            Ok(Ok(c))
+                        }
+                        PieceStrategy::Cor56 => {
+                            match crate::induction::prove_cor_5_6_with(oracle, &conj, a, beta)? {
+                                ProofOutcome::Proved(c) => Ok(Ok(c)),
+                                ProofOutcome::Inapplicable(r) => {
+                                    Ok(Err(format!("piece {i}: Corollary 5-6 failed: {r}")))
+                                }
+                            }
+                        }
+                        PieceStrategy::Cor65 => {
+                            match crate::induction::prove_cor_6_5_with(oracle, &conj, a, beta)? {
+                                ProofOutcome::Proved(c) => Ok(Ok(c)),
+                                ProofOutcome::Inapplicable(r) => {
+                                    Ok(Err(format!("piece {i}: Corollary 6-5 failed: {r}")))
+                                }
+                            }
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    for outcome in outcomes {
+        match outcome? {
+            Ok(sub) => {
+                cert.record(Fact::SubProof(Box::new(sub)));
             }
-            PieceStrategy::Cor56 => match crate::induction::prove_cor_5_6(sys, &conj, a, beta)? {
-                ProofOutcome::Proved(c) => c,
-                ProofOutcome::Inapplicable(r) => {
-                    return Ok(ProofOutcome::Inapplicable(format!(
-                        "piece {i}: Corollary 5-6 failed: {r}"
-                    )))
-                }
-            },
-            PieceStrategy::Cor65 => match crate::induction::prove_cor_6_5(sys, &conj, a, beta)? {
-                ProofOutcome::Proved(c) => c,
-                ProofOutcome::Inapplicable(r) => {
-                    return Ok(ProofOutcome::Inapplicable(format!(
-                        "piece {i}: Corollary 6-5 failed: {r}"
-                    )))
-                }
-            },
-        };
-        cert.record(Fact::SubProof(Box::new(sub)));
+            Err(reason) => return Ok(ProofOutcome::Inapplicable(reason)),
+        }
     }
     Ok(ProofOutcome::Proved(cert))
 }
@@ -123,8 +168,15 @@ pub fn prove_separation_of_variety(
 /// Whether `{φi}` is an inductive cover for φ (Def 6-2): every reachable
 /// `[H]φ` is contained in some φi. Exact, via image-set enumeration.
 pub fn is_inductive_cover(sys: &System, phi: &Phi, cover: &[Phi]) -> Result<bool> {
+    let oracle = Oracle::new(sys)?;
+    is_inductive_cover_with(&oracle, phi, cover)
+}
+
+/// [`is_inductive_cover`] against a prepared [`Oracle`].
+pub fn is_inductive_cover_with(oracle: &Oracle, phi: &Phi, cover: &[Phi]) -> Result<bool> {
+    let sys = oracle.system();
     let sats: Vec<StateSet> = cover.iter().map(|p| p.sat(sys)).collect::<Result<_>>()?;
-    for image in crate::after::reachable_images(sys, phi)? {
+    for image in crate::after::reachable_images_with(oracle, phi)? {
         if !sats.iter().any(|s| image.is_subset(s)) {
             return Ok(false);
         }
@@ -163,10 +215,25 @@ pub fn prove_inductive_cover(
     a: &ObjSet,
     beta: ObjId,
 ) -> Result<ProofOutcome> {
+    let oracle = Oracle::new(sys)?;
+    prove_inductive_cover_with(&oracle, phi, cover, a, beta)
+}
+
+/// [`prove_inductive_cover`] against a prepared [`Oracle`]: the Def 6-2
+/// image enumeration and every per-operation disjunct check run over
+/// compiled successor rows.
+pub fn prove_inductive_cover_with(
+    oracle: &Oracle,
+    phi: &Phi,
+    cover: &[Phi],
+    a: &ObjSet,
+    beta: ObjId,
+) -> Result<ProofOutcome> {
+    let sys = oracle.system();
     if a.contains(beta) {
         return Ok(ProofOutcome::Inapplicable("β ∈ A".into()));
     }
-    if !is_inductive_cover(sys, phi, cover)? {
+    if !is_inductive_cover_with(oracle, phi, cover)? {
         return Ok(ProofOutcome::Inapplicable(
             "{φi} is not an inductive cover for φ (Def 6-2)".into(),
         ));
@@ -188,7 +255,7 @@ pub fn prove_inductive_cover(
     'b1: for sat in &sats {
         for op in sys.op_ids() {
             checks += 1;
-            if !crate::induction::op_confines_diffs(sys, sat, a, op)? {
+            if !crate::induction::op_confines_diffs_with(oracle, sat, a, op)? {
                 branch1 = false;
                 break 'b1;
             }
@@ -206,7 +273,7 @@ pub fn prove_inductive_cover(
     for sat in &sats {
         for op in sys.op_ids() {
             checks += 1;
-            if !crate::induction::op_no_new_diff_at(sys, sat, beta, op)? {
+            if !crate::induction::op_no_new_diff_at_with(oracle, sat, beta, op)? {
                 return Ok(ProofOutcome::Inapplicable(
                     "both Theorem 6-7 disjuncts fail over the cover".into(),
                 ));

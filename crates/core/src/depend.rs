@@ -10,10 +10,9 @@
 //! β-outcomes within each class, which is linear in |Sat(φ)| rather than
 //! quadratic.
 
-use std::collections::HashMap;
-
 use crate::constraint::Phi;
 use crate::error::Result;
+use crate::fastmap::U64Map;
 use crate::history::History;
 use crate::state::State;
 use crate::system::System;
@@ -87,7 +86,8 @@ impl SatPartition {
             .iter()
             .map(|obj| (u.stride(obj) as u64, u.domain(obj).size() as u64))
             .collect();
-        let mut map: HashMap<u64, Vec<u64>> = HashMap::new();
+        let mut index = U64Map::new();
+        let mut classes: Vec<Vec<u64>> = Vec::new();
         for &code in codes {
             // key = code with every A-coordinate zeroed: a perfect,
             // allocation-free key for the =A= relation.
@@ -95,11 +95,24 @@ impl SatPartition {
             for &(stride, dom) in &strides {
                 key -= stride * ((code / stride) % dom);
             }
-            map.entry(key).or_default().push(code);
+            match index.get(key) {
+                Some(i) => classes[i].push(code),
+                None => {
+                    index.insert(key, classes.len());
+                    classes.push(vec![code]);
+                }
+            }
         }
-        let mut classes: Vec<Vec<u64>> = map.into_values().collect();
         // Deterministic class order (members are already ascending
         // because `codes` is ascending).
+        classes.sort_unstable();
+        SatPartition { classes }
+    }
+
+    /// A partition assembled from explicit classes (each internally
+    /// ascending). The maximal-solution sweep uses this to search one
+    /// cylinder class at a time against a shared compiled system.
+    pub(crate) fn from_classes(mut classes: Vec<Vec<u64>>) -> SatPartition {
         classes.sort_unstable();
         SatPartition { classes }
     }
@@ -273,6 +286,7 @@ mod tests {
     use crate::history::OpId;
     use crate::op::{Cmd, Op};
     use crate::universe::{Domain, Universe};
+    use std::collections::HashMap;
 
     /// δ: β ← α over k-valued ints — the §2.2 copy example.
     fn copy_sys(k: i64) -> System {

@@ -16,34 +16,48 @@
 //! The two per-operation side conditions have linear-time formulations
 //! (see DESIGN.md): "differences confined to A stay confined to A" and
 //! "no operation creates a new difference at β".
-
-use std::collections::HashMap;
+//!
+//! Every prover has a `_with` variant taking a prepared [`Oracle`]: the
+//! system compiles once, per-operation checks read compiled successor rows
+//! (falling back to the AST interpreter when the Oracle runs interpreted),
+//! and the `(constraint set, operation)` check matrix is discharged in
+//! parallel. Grouping inside the kernels uses arithmetic projection keys
+//! over packed `u64` codes — no `State` is decoded on the hot path.
 
 use crate::certificate::{Certificate, Fact, ProofOutcome};
 use crate::classify;
+use crate::compiled::{par_map_chunks, POISON};
 use crate::constraint::{Phi, StateSet};
+use crate::depend::SatPartition;
 use crate::error::Result;
+use crate::fastmap::U64U64Map;
 use crate::history::OpId;
+use crate::oracle::Oracle;
 use crate::state::State;
 use crate::system::System;
-use crate::universe::{ObjId, ObjSet};
+use crate::universe::{proj_key, ObjId, ObjSet};
 
-/// Per-operation check `∀m: A ▷δφ m ⊃ m ∈ A`, in the linear form
-/// `∀σ1 =A= σ2 ∈ Sat(φ): δ(σ1) =A= δ(σ2)`.
-pub fn op_confines_diffs(sys: &System, sat: &StateSet, a: &ObjSet, op: OpId) -> Result<bool> {
-    let u = sys.universe();
-    let mut groups: HashMap<Vec<u32>, Vec<u32>> = HashMap::new();
-    for code in sat.iter() {
-        let sigma = State::decode(u, code);
-        let out = sys.apply(op, &sigma)?;
-        let key = sigma.project_complement(a);
-        let val = out.project_complement(a);
-        match groups.get(&key) {
+/// Kernel behind [`op_confines_diffs`]: checks
+/// `∀σ1 =A= σ2 ∈ Sat(φ): δ(σ1) =A= δ(σ2)` over packed codes, grouping by
+/// the arithmetic complement-projection key. `succ` supplies δ's successor
+/// code (compiled row probe or AST interpretation).
+fn confines_kernel(
+    dims: &[(u64, u64)],
+    a: &ObjSet,
+    codes: &[u64],
+    succ: &mut dyn FnMut(u64) -> Result<u64>,
+) -> Result<bool> {
+    let mut groups = U64U64Map::new();
+    for &code in codes {
+        let next = succ(code)?;
+        let key = code - proj_key(dims, a, code);
+        let val = next - proj_key(dims, a, next);
+        match groups.get(key) {
             None => {
                 groups.insert(key, val);
             }
             Some(prev) => {
-                if prev != &val {
+                if prev != val {
                     return Ok(false);
                 }
             }
@@ -52,28 +66,179 @@ pub fn op_confines_diffs(sys: &System, sat: &StateSet, a: &ObjSet, op: OpId) -> 
     Ok(true)
 }
 
+/// Kernel behind [`op_no_new_diff_at`]: checks
+/// `∀σ1, σ2 ∈ Sat(φ): σ1.β = σ2.β ⊃ δ(σ1).β = δ(σ2).β` over packed codes.
+/// A flat per-β-value table (sentinel `u32::MAX`) replaces the hash map;
+/// domains large enough to collide with the sentinel use the map instead.
+fn no_new_diff_kernel(
+    dims: &[(u64, u64)],
+    beta: ObjId,
+    codes: &[u64],
+    succ: &mut dyn FnMut(u64) -> Result<u64>,
+) -> Result<bool> {
+    let (stride, dom) = dims[beta.index()];
+    if dom >= u32::MAX as u64 {
+        let mut seen = U64U64Map::new();
+        for &code in codes {
+            let next = succ(code)?;
+            let before = (code / stride) % dom;
+            let after = (next / stride) % dom;
+            match seen.get(before) {
+                None => {
+                    seen.insert(before, after);
+                }
+                Some(prev) => {
+                    if prev != after {
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+        return Ok(true);
+    }
+    let mut seen = vec![u32::MAX; dom as usize];
+    for &code in codes {
+        let next = succ(code)?;
+        let before = ((code / stride) % dom) as usize;
+        let after = ((next / stride) % dom) as u32;
+        if seen[before] == u32::MAX {
+            seen[before] = after;
+        } else if seen[before] != after {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Evaluates `kernel` for every `(constraint set, operation)` pair, in
+/// parallel, against compiled successor rows when the Oracle compiles and
+/// the AST interpreter otherwise. Results are returned in pair order, so
+/// callers can replay the sequential first-failure semantics exactly.
+fn eval_pairs<K>(
+    oracle: &Oracle,
+    sat_codes: &[Vec<u64>],
+    pairs: &[(usize, usize)],
+    kernel: K,
+) -> Vec<Result<bool>>
+where
+    K: Fn(&[u64], &mut dyn FnMut(u64) -> Result<u64>) -> Result<bool> + Sync,
+{
+    let sys = oracle.system();
+    let u = sys.universe();
+    let mut all: Vec<u64> = sat_codes.iter().flatten().copied().collect();
+    all.sort_unstable();
+    all.dedup();
+    oracle
+        .with_rows(&all, |cs, memo| {
+            par_map_chunks(pairs, 1, |chunk| {
+                chunk
+                    .iter()
+                    .map(|&(si, op)| {
+                        kernel(&sat_codes[si], &mut |code| {
+                            let next = cs.succ(memo, code, op);
+                            if next == POISON {
+                                Err(cs.poison_error(code, op))
+                            } else {
+                                Ok(next)
+                            }
+                        })
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect::<Vec<_>>()
+        })
+        .unwrap_or_else(|| {
+            par_map_chunks(pairs, 1, |chunk| {
+                chunk
+                    .iter()
+                    .map(|&(si, op)| {
+                        kernel(&sat_codes[si], &mut |code| {
+                            Ok(sys
+                                .apply(OpId(op as u32), &State::decode(u, code))?
+                                .encode(u))
+                        })
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        })
+}
+
+/// Per-operation check `∀m: A ▷δφ m ⊃ m ∈ A`, in the linear form
+/// `∀σ1 =A= σ2 ∈ Sat(φ): δ(σ1) =A= δ(σ2)`.
+pub fn op_confines_diffs(sys: &System, sat: &StateSet, a: &ObjSet, op: OpId) -> Result<bool> {
+    let u = sys.universe();
+    let dims = u.dims();
+    let codes: Vec<u64> = sat.iter().collect();
+    confines_kernel(&dims, a, &codes, &mut |code| {
+        Ok(sys.apply(op, &State::decode(u, code))?.encode(u))
+    })
+}
+
+/// [`op_confines_diffs`] against a prepared [`Oracle`], probing compiled
+/// successor rows instead of interpreting the operation per state.
+pub(crate) fn op_confines_diffs_with(
+    oracle: &Oracle,
+    sat: &StateSet,
+    a: &ObjSet,
+    op: OpId,
+) -> Result<bool> {
+    let sys = oracle.system();
+    let dims = sys.universe().dims();
+    let codes: Vec<u64> = sat.iter().collect();
+    let op = op.0 as usize;
+    oracle
+        .with_rows(&codes, |cs, memo| {
+            confines_kernel(&dims, a, &codes, &mut |code| {
+                let next = cs.succ(memo, code, op);
+                if next == POISON {
+                    Err(cs.poison_error(code, op))
+                } else {
+                    Ok(next)
+                }
+            })
+        })
+        .unwrap_or_else(|| op_confines_diffs(sys, sat, a, OpId(op as u32)))
+}
+
 /// Per-operation check `∀M: M ▷δφ β ⊃ β ∈ M`, in the linear form
 /// `∀σ1, σ2 ∈ Sat(φ): σ1.β = σ2.β ⊃ δ(σ1).β = δ(σ2).β`.
 pub fn op_no_new_diff_at(sys: &System, sat: &StateSet, beta: ObjId, op: OpId) -> Result<bool> {
     let u = sys.universe();
-    let mut seen: HashMap<u32, u32> = HashMap::new();
-    for code in sat.iter() {
-        let sigma = State::decode(u, code);
-        let out = sys.apply(op, &sigma)?;
-        let before = sigma.index(beta);
-        let after = out.index(beta);
-        match seen.get(&before) {
-            None => {
-                seen.insert(before, after);
-            }
-            Some(&prev) => {
-                if prev != after {
-                    return Ok(false);
+    let dims = u.dims();
+    let codes: Vec<u64> = sat.iter().collect();
+    no_new_diff_kernel(&dims, beta, &codes, &mut |code| {
+        Ok(sys.apply(op, &State::decode(u, code))?.encode(u))
+    })
+}
+
+/// [`op_no_new_diff_at`] against a prepared [`Oracle`].
+pub(crate) fn op_no_new_diff_at_with(
+    oracle: &Oracle,
+    sat: &StateSet,
+    beta: ObjId,
+    op: OpId,
+) -> Result<bool> {
+    let sys = oracle.system();
+    let dims = sys.universe().dims();
+    let codes: Vec<u64> = sat.iter().collect();
+    let op = op.0 as usize;
+    oracle
+        .with_rows(&codes, |cs, memo| {
+            no_new_diff_kernel(&dims, beta, &codes, &mut |code| {
+                let next = cs.succ(memo, code, op);
+                if next == POISON {
+                    Err(cs.poison_error(code, op))
+                } else {
+                    Ok(next)
                 }
-            }
-        }
-    }
-    Ok(true)
+            })
+        })
+        .unwrap_or_else(|| op_no_new_diff_at(sys, sat, beta, OpId(op as u32)))
 }
 
 fn render_objset(sys: &System, a: &ObjSet) -> String {
@@ -85,10 +250,24 @@ fn render_objset(sys: &System, a: &ObjSet) -> String {
 /// differences out of A, or no operation creates a new difference at β,
 /// then `¬A ▷φ β`.
 pub fn prove_cor_5_6(sys: &System, phi: &Phi, a: &ObjSet, beta: ObjId) -> Result<ProofOutcome> {
+    let oracle = Oracle::new(sys)?;
+    prove_cor_5_6_with(&oracle, phi, a, beta)
+}
+
+/// [`prove_cor_5_6`] against a prepared [`Oracle`]: the compile, Sat(φ)
+/// enumeration and successor rows are shared with the caller's other
+/// queries, and the per-operation checks run in parallel.
+pub fn prove_cor_5_6_with(
+    oracle: &Oracle,
+    phi: &Phi,
+    a: &ObjSet,
+    beta: ObjId,
+) -> Result<ProofOutcome> {
+    let sys = oracle.system();
     if a.contains(beta) {
         return Ok(ProofOutcome::Inapplicable("β ∈ A".into()));
     }
-    if !classify::is_invariant(sys, phi)? {
+    if !classify::is_invariant_with(oracle, phi)? {
         return Ok(ProofOutcome::Inapplicable("φ is not invariant".into()));
     }
     let sat = phi.sat(sys)?;
@@ -101,7 +280,7 @@ pub fn prove_cor_5_6(sys: &System, phi: &Phi, a: &ObjSet, beta: ObjId) -> Result
         ),
     );
     cert.record(Fact::Invariant);
-    match disjunction(sys, &[sat], a, beta, &mut cert)? {
+    match disjunction(oracle, &[sat], a, beta, &mut cert)? {
         Ok(()) => Ok(ProofOutcome::Proved(cert)),
         Err(reason) => Ok(ProofOutcome::Inapplicable(reason)),
     }
@@ -109,49 +288,67 @@ pub fn prove_cor_5_6(sys: &System, phi: &Phi, a: &ObjSet, beta: ObjId) -> Result
 
 /// Checks the Cor 5-6 / 6-5 / Thm 6-7 disjunction over a family of
 /// satisfying sets, recording the successful branch in `cert`.
+///
+/// Both branches evaluate their whole `(constraint set, operation)` check
+/// matrix in parallel, then replay the results in sequential order so the
+/// recorded facts, failure reasons and surfaced errors are identical to
+/// the one-check-at-a-time formulation.
 fn disjunction(
-    sys: &System,
+    oracle: &Oracle,
     sats: &[StateSet],
     a: &ObjSet,
     beta: ObjId,
     cert: &mut Certificate,
 ) -> Result<core::result::Result<(), String>> {
+    let sys = oracle.system();
+    let dims = sys.universe().dims();
+    let num_ops = sys.num_ops();
+    let sat_codes: Vec<Vec<u64>> = sats.iter().map(|s| s.iter().collect()).collect();
+    let pairs: Vec<(usize, usize)> = (0..sats.len())
+        .flat_map(|si| (0..num_ops).map(move |op| (si, op)))
+        .collect();
     // Branch 1: ∀(sat, δ): differences confined to A stay confined.
-    let mut checks = 0;
-    let mut branch1 = true;
-    'b1: for sat in sats {
-        for op in sys.op_ids() {
-            checks += 1;
-            if !op_confines_diffs(sys, sat, a, op)? {
-                branch1 = false;
-                break 'b1;
+    let branch1 = eval_pairs(oracle, &sat_codes, &pairs, |codes, succ| {
+        confines_kernel(&dims, a, codes, succ)
+    });
+    let mut confined = true;
+    for check in branch1 {
+        match check {
+            Err(e) => return Err(e),
+            Ok(false) => {
+                confined = false;
+                break;
             }
+            Ok(true) => {}
         }
     }
-    if branch1 {
+    if confined {
         cert.record(Fact::NoSpreadFrom {
             sources: render_objset(sys, a),
-            checks,
+            checks: pairs.len(),
         });
         return Ok(Ok(()));
     }
     // Branch 2: ∀(sat, δ): no new difference at β.
-    let mut checks = 0;
-    for sat in sats {
-        for op in sys.op_ids() {
-            checks += 1;
-            if !op_no_new_diff_at(sys, sat, beta, op)? {
+    let branch2 = eval_pairs(oracle, &sat_codes, &pairs, |codes, succ| {
+        no_new_diff_kernel(&dims, beta, codes, succ)
+    });
+    for check in branch2 {
+        match check {
+            Err(e) => return Err(e),
+            Ok(false) => {
                 return Ok(Err(format!(
                     "both disjuncts fail: some operation spreads differences out of A \
                      and some operation writes β under {} constraint sets",
                     sats.len()
                 )));
             }
+            Ok(true) => {}
         }
     }
     cert.record(Fact::NoNewDifferenceAt {
         sink: sys.universe().name(beta).to_string(),
-        checks,
+        checks: pairs.len(),
     });
     Ok(Ok(()))
 }
@@ -175,13 +372,25 @@ fn disjunction(
 /// # Ok::<(), sd_core::Error>(())
 /// ```
 pub fn prove_cor_4_2(sys: &System, phi: &Phi, alpha: ObjId, beta: ObjId) -> Result<ProofOutcome> {
+    let oracle = Oracle::new(sys)?;
+    prove_cor_4_2_with(&oracle, phi, alpha, beta)
+}
+
+/// [`prove_cor_4_2`] against a prepared [`Oracle`].
+pub fn prove_cor_4_2_with(
+    oracle: &Oracle,
+    phi: &Phi,
+    alpha: ObjId,
+    beta: ObjId,
+) -> Result<ProofOutcome> {
+    let sys = oracle.system();
     if alpha == beta {
         return Ok(ProofOutcome::Inapplicable("α = β".into()));
     }
     if !classify::is_autonomous(sys, phi)? {
         return Ok(ProofOutcome::Inapplicable("φ is not autonomous".into()));
     }
-    if !classify::is_invariant(sys, phi)? {
+    if !classify::is_invariant_with(oracle, phi)? {
         return Ok(ProofOutcome::Inapplicable("φ is not invariant".into()));
     }
     let sat = phi.sat(sys)?;
@@ -195,10 +404,45 @@ pub fn prove_cor_4_2(sys: &System, phi: &Phi, alpha: ObjId, beta: ObjId) -> Resu
     );
     cert.record(Fact::Autonomous);
     cert.record(Fact::Invariant);
-    match disjunction(sys, &[sat], &ObjSet::singleton(alpha), beta, &mut cert)? {
+    match disjunction(oracle, &[sat], &ObjSet::singleton(alpha), beta, &mut cert)? {
         Ok(()) => Ok(ProofOutcome::Proved(cert)),
         Err(reason) => Ok(ProofOutcome::Inapplicable(reason)),
     }
+}
+
+/// Kernel behind the Cor 4-3 per-operation sweep: the sinks of a
+/// single-operation history from source partition `part` — the union over
+/// `=A=` classes of the objects at which two successor codes differ.
+/// Pairwise diffs reduce to first-vs-rest diffs: if two successors differ
+/// at y, at least one differs from the class's first successor at y.
+fn op_sinks_kernel(
+    dims: &[(u64, u64)],
+    part: &SatPartition,
+    succ: &mut dyn FnMut(u64) -> Result<u64>,
+) -> Result<ObjSet> {
+    let mut out = ObjSet::empty();
+    for class in part.classes() {
+        if class.len() < 2 {
+            continue;
+        }
+        let mut first: Option<u64> = None;
+        for &code in class {
+            let next = succ(code)?;
+            match first {
+                None => first = Some(next),
+                Some(f) => {
+                    if f != next {
+                        for (i, &(stride, dom)) in dims.iter().enumerate() {
+                            if (f / stride) % dom != (next / stride) % dom {
+                                out.insert(ObjId::from_index(i));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Corollary 4-3: for autonomous invariant φ and a reflexive transitive
@@ -214,10 +458,25 @@ pub fn prove_cor_4_3(
     q: &dyn Fn(ObjId, ObjId) -> bool,
     q_name: &str,
 ) -> Result<ProofOutcome> {
+    let oracle = Oracle::new(sys)?;
+    prove_cor_4_3_with(&oracle, phi, q, q_name)
+}
+
+/// [`prove_cor_4_3`] against a prepared [`Oracle`]: the per-`(operation,
+/// source)` sink sets are computed in parallel over compiled successor
+/// rows, then checked against q in the sequential sweep order, so the
+/// reported first violation is identical.
+pub fn prove_cor_4_3_with(
+    oracle: &Oracle,
+    phi: &Phi,
+    q: &dyn Fn(ObjId, ObjId) -> bool,
+    q_name: &str,
+) -> Result<ProofOutcome> {
+    let sys = oracle.system();
     if !classify::is_autonomous(sys, phi)? {
         return Ok(ProofOutcome::Inapplicable("φ is not autonomous".into()));
     }
-    if !classify::is_invariant(sys, phi)? {
+    if !classify::is_invariant_with(oracle, phi)? {
         return Ok(ProofOutcome::Inapplicable("φ is not invariant".into()));
     }
     // q must be reflexive and transitive over the (finite) object universe.
@@ -245,21 +504,66 @@ pub fn prove_cor_4_3(
         }
     }
     // Per-operation: x ▷δφ y ⊃ q(x, y), via the single-history sink set.
-    let mut checks = 0;
-    for op in sys.op_ids() {
-        let h = crate::history::History::single(op);
-        for &x in &objs {
-            checks += 1;
-            let sinks = crate::depend::sinks_after(sys, phi, &ObjSet::singleton(x), &h)?;
-            for y in sinks.iter() {
-                if !q(x, y) {
-                    return Ok(ProofOutcome::Inapplicable(format!(
-                        "operation δ{} transmits {} ▷ {} violating {q_name}",
-                        op.0,
-                        sys.universe().name(x),
-                        sys.universe().name(y)
-                    )));
-                }
+    // Sink sets for every (op, x) pair are computed in parallel; q itself
+    // (an opaque, possibly non-Sync closure) is applied afterwards in
+    // sweep order.
+    let u = sys.universe();
+    let dims = u.dims();
+    let parts: Vec<SatPartition> = objs
+        .iter()
+        .map(|&x| oracle.partition(phi, &ObjSet::singleton(x)))
+        .collect::<Result<_>>()?;
+    let pairs: Vec<(usize, usize)> = (0..sys.num_ops())
+        .flat_map(|op| (0..objs.len()).map(move |xi| (op, xi)))
+        .collect();
+    let all: Vec<u64> = oracle.sat_codes(phi)?.to_vec();
+    let sinks: Vec<Result<ObjSet>> = oracle
+        .with_rows(&all, |cs, memo| {
+            par_map_chunks(&pairs, 1, |chunk| {
+                chunk
+                    .iter()
+                    .map(|&(op, xi)| {
+                        op_sinks_kernel(&dims, &parts[xi], &mut |code| {
+                            let next = cs.succ(memo, code, op);
+                            if next == POISON {
+                                Err(cs.poison_error(code, op))
+                            } else {
+                                Ok(next)
+                            }
+                        })
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect::<Vec<_>>()
+        })
+        .unwrap_or_else(|| {
+            par_map_chunks(&pairs, 1, |chunk| {
+                chunk
+                    .iter()
+                    .map(|&(op, xi)| {
+                        op_sinks_kernel(&dims, &parts[xi], &mut |code| {
+                            Ok(sys
+                                .apply(OpId(op as u32), &State::decode(u, code))?
+                                .encode(u))
+                        })
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        });
+    for (&(op, xi), sinks) in pairs.iter().zip(sinks) {
+        let x = objs[xi];
+        for y in sinks?.iter() {
+            if !q(x, y) {
+                return Ok(ProofOutcome::Inapplicable(format!(
+                    "operation δ{op} transmits {} ▷ {} violating {q_name}",
+                    sys.universe().name(x),
+                    sys.universe().name(y)
+                )));
             }
         }
     }
@@ -269,7 +573,7 @@ pub fn prove_cor_4_3(
     cert.record(Fact::ReflexiveTransitive(q_name.to_string()));
     cert.record(Fact::RelationRespected {
         relation: q_name.to_string(),
-        checks,
+        checks: pairs.len(),
     });
     Ok(ProofOutcome::Proved(cert))
 }
@@ -278,10 +582,23 @@ pub fn prove_cor_4_3(
 /// the Cor 5-6 disjunction checked over *every* reachable `[H]φ` proves
 /// `¬A ▷φ β`.
 pub fn prove_cor_6_5(sys: &System, phi: &Phi, a: &ObjSet, beta: ObjId) -> Result<ProofOutcome> {
+    let oracle = Oracle::new(sys)?;
+    prove_cor_6_5_with(&oracle, phi, a, beta)
+}
+
+/// [`prove_cor_6_5`] against a prepared [`Oracle`]: image enumeration and
+/// the disjunction over all images share one compile.
+pub fn prove_cor_6_5_with(
+    oracle: &Oracle,
+    phi: &Phi,
+    a: &ObjSet,
+    beta: ObjId,
+) -> Result<ProofOutcome> {
+    let sys = oracle.system();
     if a.contains(beta) {
         return Ok(ProofOutcome::Inapplicable("β ∈ A".into()));
     }
-    let images = crate::after::reachable_images(sys, phi)?;
+    let images = crate::after::reachable_images_with(oracle, phi)?;
     let mut cert = Certificate::new(
         "Corollary 6-5",
         format!(
@@ -294,7 +611,7 @@ pub fn prove_cor_6_5(sys: &System, phi: &Phi, a: &ObjSet, beta: ObjId) -> Result
         "{} reachable [H]φ constraint sets enumerated",
         images.len()
     )));
-    match disjunction(sys, &images, a, beta, &mut cert)? {
+    match disjunction(oracle, &images, a, beta, &mut cert)? {
         Ok(()) => Ok(ProofOutcome::Proved(cert)),
         Err(reason) => Ok(ProofOutcome::Inapplicable(reason)),
     }
@@ -641,5 +958,35 @@ mod tests {
         let phi = Phi::expr(Expr::var(m).not());
         assert!(check_theorem_4_1(&sys, &phi, a, b, 3).unwrap());
         assert!(check_theorem_4_1(&sys, &Phi::True, a, b, 3).unwrap());
+    }
+
+    #[test]
+    fn shared_oracle_provers_match_free_functions() {
+        // One Oracle discharging all four provers must compile exactly
+        // once and agree with the per-call entry points.
+        let sys = guarded_copy();
+        let u = sys.universe();
+        let a = u.obj("alpha").unwrap();
+        let b = u.obj("beta").unwrap();
+        let m = u.obj("m").unwrap();
+        let phi = Phi::expr(Expr::var(m).not());
+        let oracle = Oracle::new(&sys).unwrap();
+        let shared = [
+            prove_cor_4_2_with(&oracle, &phi, a, b).unwrap(),
+            prove_cor_5_6_with(&oracle, &phi, &ObjSet::singleton(a), b).unwrap(),
+            prove_cor_6_5_with(&oracle, &phi, &ObjSet::singleton(a), b).unwrap(),
+            prove_cor_4_3_with(&oracle, &phi, &|x, y| x == y, "identity").unwrap(),
+        ];
+        let free = [
+            prove_cor_4_2(&sys, &phi, a, b).unwrap(),
+            prove_cor_5_6(&sys, &phi, &ObjSet::singleton(a), b).unwrap(),
+            prove_cor_6_5(&sys, &phi, &ObjSet::singleton(a), b).unwrap(),
+            prove_cor_4_3(&sys, &phi, &|x, y| x == y, "identity").unwrap(),
+        ];
+        for (s, f) in shared.iter().zip(&free) {
+            assert_eq!(s.is_proved(), f.is_proved());
+            assert_eq!(s.certificate().map(|c| &c.facts), f.certificate().map(|c| &c.facts));
+        }
+        assert_eq!(oracle.stats().compiles, 1);
     }
 }

@@ -44,6 +44,7 @@ pub mod inferential;
 pub mod mechanism;
 pub mod observe;
 pub mod op;
+pub mod oracle;
 pub mod problem;
 pub mod reach;
 pub mod solve;
@@ -59,6 +60,7 @@ pub use crate::error::{Error, Result};
 pub use crate::expr::{BinOp, Expr};
 pub use crate::history::{History, OpId};
 pub use crate::op::{Cmd, LValue, Op};
+pub use crate::oracle::{Oracle, OracleStats};
 pub use crate::state::State;
 pub use crate::system::System;
 pub use crate::universe::{Domain, ObjId, ObjSet, Universe};

@@ -1,0 +1,441 @@
+//! Compile-once query sessions: the [`Oracle`].
+//!
+//! Every decision procedure in this crate reduces to repeated questions
+//! about one fixed system — pair reachability for `A ▷φ β`, successor
+//! rows for the induction kernels, Sat(φ) enumerations for everything.
+//! Before this module existed each public entry point recompiled the
+//! system and re-enumerated Sat(φ) per call; an [`Oracle`] pins those
+//! system-wide artefacts in one place instead:
+//!
+//! - the [`CompiledSystem`] successor tables, built **once** at
+//!   construction (or not at all when the engine falls back to the
+//!   interpreter — see below);
+//! - interned `Sat(φ)` enumerations, keyed by structural φ equality
+//!   (never re-enumerated for a φ the Oracle has already seen);
+//! - a pool of reusable search buffers (visited structure, BFS node
+//!   arena, sparse row memo), so a sweep of thousands of pair searches
+//!   allocates only on growth;
+//! - a shared sparse-row cache for the op-kernel sweeps of
+//!   [`crate::induction`] and [`crate::classify`].
+//!
+//! The one-shot functions in [`crate::reach`] construct a short-lived
+//! Oracle per call, so there is exactly one code path; the provers
+//! ([`crate::solve`], [`crate::cover`], [`crate::induction`]) hold one
+//! Oracle across their whole run, which is where the compile-once payoff
+//! lands.
+//!
+//! # When does an Oracle interpret instead of compiling?
+//!
+//! [`Engine::Interpreted`] never compiles. [`Engine::Auto`] compiles
+//! unless the state space has ≥ 2³² states (packed `u64` pair keys no
+//! longer fit); in that case every search runs on the interpreted
+//! reference engine and [`OracleStats::compiles`] stays 0. Within the
+//! compiled regime, `Auto` picks dense tables when they fit the
+//! [`CompileBudget`] and lazy sparse rows otherwise — or when the φ the
+//! Oracle was built for ([`Oracle::for_phi`]) has a thin satisfying set.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::compiled::{
+    par_map_chunks, CompileBudget, CompiledSystem, Engine, SparseMemo, TableKind,
+};
+use crate::constraint::Phi;
+use crate::depend::{self, SatPartition};
+use crate::error::{Error, Result};
+use crate::reach::{
+    self, compiled_search, interpreted_search, DependsWitness, SearchBuffers, SearchStats,
+};
+use crate::system::System;
+use crate::universe::{ObjId, ObjSet};
+
+/// Counters describing the work an [`Oracle`] has performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Number of times the system was compiled (0 when the Oracle runs
+    /// interpreted, 1 otherwise — construction is the only compile).
+    pub compiles: u64,
+    /// Number of pair searches run through the Oracle.
+    pub searches: u64,
+    /// Number of distinct φ whose Sat(φ) enumeration is interned.
+    pub interned_phis: u64,
+}
+
+/// A compile-once query session over one [`System`]. See the module docs
+/// for what is shared; see [`crate::reach`] for the search semantics.
+///
+/// An `Oracle` is `Sync`: the provers share one by reference across
+/// scoped worker threads (pieces, cylinder classes, worth-matrix rows).
+///
+/// # Examples
+///
+/// ```
+/// use sd_core::{examples, ObjSet, Oracle, Phi};
+///
+/// let sys = examples::flag_copy_system(3)?;
+/// let u = sys.universe();
+/// let oracle = Oracle::new(&sys)?;
+/// // Many queries, one compile.
+/// for obj in u.objects() {
+///     let _ = oracle.sinks(&Phi::True, &ObjSet::singleton(obj))?;
+/// }
+/// assert_eq!(oracle.stats().compiles, 1);
+/// # Ok::<(), sd_core::Error>(())
+/// ```
+pub struct Oracle<'s> {
+    sys: &'s System,
+    ns: u64,
+    budget: CompileBudget,
+    /// `None` ⇒ every search runs interpreted.
+    compiled: Option<CompiledSystem<'s>>,
+    /// Interned Sat(φ) enumerations, keyed by [`Phi::cache_eq`]. A
+    /// linear scan: provers use a handful of distinct φ.
+    sat_cache: Mutex<Vec<(Phi, Arc<Vec<u64>>)>>,
+    /// Reusable search buffers (one per concurrently running search).
+    pool: Mutex<Vec<SearchBuffers>>,
+    /// Shared sparse-row cache for op-kernel sweeps.
+    rows: Mutex<SparseMemo>,
+    compiles: u64,
+    searches: AtomicU64,
+}
+
+impl<'s> Oracle<'s> {
+    /// An Oracle with [`Engine::Auto`] and the default budget.
+    pub fn new(sys: &'s System) -> Result<Oracle<'s>> {
+        Oracle::with_engine(sys, Engine::Auto, &CompileBudget::default())
+    }
+
+    /// An Oracle with an explicit engine and budget.
+    pub fn with_engine(
+        sys: &'s System,
+        engine: Engine,
+        budget: &CompileBudget,
+    ) -> Result<Oracle<'s>> {
+        Oracle::build(sys, engine, budget, None)
+    }
+
+    /// An Oracle tuned for queries under one constraint: Sat(φ) is
+    /// enumerated up front (and interned), and [`Engine::Auto`] refines
+    /// on its thinness exactly like the one-shot search paths. This is
+    /// what [`crate::reach`]'s free functions construct per call.
+    pub fn for_phi(
+        sys: &'s System,
+        phi: &Phi,
+        engine: Engine,
+        budget: &CompileBudget,
+    ) -> Result<Oracle<'s>> {
+        let codes = Arc::new(depend::sat_codes(sys, phi)?);
+        let oracle = Oracle::build(sys, engine, budget, Some(codes.len() as u64))?;
+        oracle
+            .sat_cache
+            .lock()
+            .expect("sat cache lock")
+            .push((phi.clone(), codes));
+        Ok(oracle)
+    }
+
+    fn build(
+        sys: &'s System,
+        engine: Engine,
+        budget: &CompileBudget,
+        sat_hint: Option<u64>,
+    ) -> Result<Oracle<'s>> {
+        let ns = sys.state_count()?;
+        let compiled = if reach::wants_interpreter(engine, ns) {
+            None
+        } else if ns >= reach::MAX_COMPILED_STATES {
+            return Err(Error::Invalid(format!(
+                "state space of {ns} states exceeds the compiled pair-key range"
+            )));
+        } else {
+            let engine = reach::refine_auto(engine, sat_hint.unwrap_or(ns), ns);
+            Some(CompiledSystem::compile(sys, engine, budget)?)
+        };
+        let compiles = u64::from(compiled.is_some());
+        Ok(Oracle {
+            sys,
+            ns,
+            budget: *budget,
+            compiled,
+            sat_cache: Mutex::new(Vec::new()),
+            pool: Mutex::new(Vec::new()),
+            rows: Mutex::new(SparseMemo::default()),
+            compiles,
+            searches: AtomicU64::new(0),
+        })
+    }
+
+    /// The underlying system.
+    pub fn system(&self) -> &'s System {
+        self.sys
+    }
+
+    /// Work counters so far.
+    pub fn stats(&self) -> OracleStats {
+        OracleStats {
+            compiles: self.compiles,
+            searches: self.searches.load(Ordering::Relaxed),
+            interned_phis: self.sat_cache.lock().expect("sat cache lock").len() as u64,
+        }
+    }
+
+    /// The interned `Sat(φ)` enumeration (ascending state codes),
+    /// computing and caching it on first use.
+    pub fn sat_codes(&self, phi: &Phi) -> Result<Arc<Vec<u64>>> {
+        {
+            let cache = self.sat_cache.lock().expect("sat cache lock");
+            if let Some((_, codes)) = cache.iter().find(|(p, _)| p.cache_eq(phi)) {
+                return Ok(Arc::clone(codes));
+            }
+        }
+        // Enumerate outside the lock; on a race the first entry wins so
+        // every caller shares one allocation.
+        let codes = Arc::new(depend::sat_codes(self.sys, phi)?);
+        let mut cache = self.sat_cache.lock().expect("sat cache lock");
+        if let Some((_, existing)) = cache.iter().find(|(p, _)| p.cache_eq(phi)) {
+            return Ok(Arc::clone(existing));
+        }
+        cache.push((phi.clone(), Arc::clone(&codes)));
+        Ok(codes)
+    }
+
+    /// `Sat(φ)` partitioned into `=A=` classes, from the interned
+    /// enumeration.
+    pub fn partition(&self, phi: &Phi, a: &ObjSet) -> Result<SatPartition> {
+        let codes = self.sat_codes(phi)?;
+        Ok(SatPartition::from_codes(self.sys.universe(), &codes, a))
+    }
+
+    /// Runs one pair search over an explicit partition, borrowing a
+    /// buffer set from the pool.
+    pub(crate) fn search_partition(
+        &self,
+        part: &SatPartition,
+        found: impl FnMut(u64, u64) -> bool,
+    ) -> Result<(Option<DependsWitness>, SearchStats)> {
+        self.searches.fetch_add(1, Ordering::Relaxed);
+        match &self.compiled {
+            None => interpreted_search(self.sys, part, found),
+            Some(cs) => {
+                let mut bufs = self
+                    .pool
+                    .lock()
+                    .expect("buffer pool lock")
+                    .pop()
+                    .unwrap_or_else(|| SearchBuffers::new(self.ns, &self.budget));
+                let out = compiled_search(cs, part, &mut bufs, found);
+                self.pool.lock().expect("buffer pool lock").push(bufs);
+                out
+            }
+        }
+    }
+
+    /// Decides `A ▷φ β` through this Oracle (see [`crate::reach::depends`]).
+    pub fn depends(&self, phi: &Phi, a: &ObjSet, beta: ObjId) -> Result<Option<DependsWitness>> {
+        Ok(self.depends_with_stats(phi, a, beta)?.0)
+    }
+
+    /// [`Oracle::depends`], also returning search diagnostics.
+    pub fn depends_with_stats(
+        &self,
+        phi: &Phi,
+        a: &ObjSet,
+        beta: ObjId,
+    ) -> Result<(Option<DependsWitness>, SearchStats)> {
+        let part = self.partition(phi, a)?;
+        self.depends_partition(&part, beta)
+    }
+
+    /// `A ▷ β` over an explicit partition (the per-cylinder searches of
+    /// the maximal-solution sweep use this).
+    pub(crate) fn depends_partition(
+        &self,
+        part: &SatPartition,
+        beta: ObjId,
+    ) -> Result<(Option<DependsWitness>, SearchStats)> {
+        let (stride, dom) = reach::extractor(self.sys.universe(), beta);
+        self.search_partition(part, move |c1, c2| {
+            (c1 / stride) % dom != (c2 / stride) % dom
+        })
+    }
+
+    /// Decides the set-target relation `A ▷φ B` (see
+    /// [`crate::reach::depends_set`]).
+    pub fn depends_set(
+        &self,
+        phi: &Phi,
+        a: &ObjSet,
+        b: &ObjSet,
+    ) -> Result<Option<DependsWitness>> {
+        if b.is_empty() {
+            return Ok(None);
+        }
+        let u = self.sys.universe();
+        let targets: Vec<(u64, u64)> = b.iter().map(|obj| reach::extractor(u, obj)).collect();
+        let part = self.partition(phi, a)?;
+        let (witness, _) = self.search_partition(&part, move |c1, c2| {
+            targets
+                .iter()
+                .all(|&(stride, dom)| (c1 / stride) % dom != (c2 / stride) % dom)
+        })?;
+        Ok(witness)
+    }
+
+    /// All sinks of one source set: `{ β | A ▷φ β }`.
+    pub fn sinks(&self, phi: &Phi, a: &ObjSet) -> Result<ObjSet> {
+        let part = self.partition(phi, a)?;
+        self.sinks_partition(&part)
+    }
+
+    /// [`Oracle::sinks`] over an explicit partition.
+    pub(crate) fn sinks_partition(&self, part: &SatPartition) -> Result<ObjSet> {
+        let u = self.sys.universe();
+        let extractors: Vec<(ObjId, u64, u64)> = u
+            .objects()
+            .map(|obj| {
+                let (stride, dom) = reach::extractor(u, obj);
+                (obj, stride, dom)
+            })
+            .collect();
+        let total = extractors.len();
+        let mut out = ObjSet::empty();
+        let mut count = 0usize;
+        self.search_partition(part, |c1, c2| {
+            for &(obj, stride, dom) in &extractors {
+                if !out.contains(obj) && (c1 / stride) % dom != (c2 / stride) % dom {
+                    out.insert(obj);
+                    count += 1;
+                }
+            }
+            count == total
+        })?;
+        Ok(out)
+    }
+
+    /// One [`Oracle::sinks`] row per source set, sharing the interned
+    /// Sat(φ) enumeration; rows run in parallel on scoped threads, each
+    /// borrowing buffers from the pool.
+    pub fn sinks_matrix(&self, phi: &Phi, sources: &[ObjSet]) -> Result<Vec<ObjSet>> {
+        if sources.is_empty() {
+            return Ok(Vec::new());
+        }
+        let codes = self.sat_codes(phi)?;
+        let u = self.sys.universe();
+        let row = |src: &ObjSet| -> Result<ObjSet> {
+            let part = SatPartition::from_codes(u, &codes, src);
+            self.sinks_partition(&part)
+        };
+        let chunked: Vec<Vec<Result<ObjSet>>> =
+            par_map_chunks(sources, 1, |chunk| chunk.iter().map(&row).collect());
+        chunked.into_iter().flatten().collect()
+    }
+
+    /// Bounded-history variant of [`Oracle::depends`] (see
+    /// [`crate::reach::depends_bounded`]): one interned partition is
+    /// shared across every enumerated history.
+    pub fn depends_bounded(
+        &self,
+        phi: &Phi,
+        a: &ObjSet,
+        beta: ObjId,
+        max_len: usize,
+    ) -> Result<Option<DependsWitness>> {
+        let part = self.partition(phi, a)?;
+        for h in crate::history::histories_up_to(self.sys.num_ops(), max_len) {
+            if let Some(w) = depend::strongly_depends_after_with(self.sys, &part, beta, &h)? {
+                return Ok(Some(DependsWitness {
+                    history: h,
+                    sigma1: w.sigma1,
+                    sigma2: w.sigma2,
+                }));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Runs `f` against the compiled tables with sparse successor rows
+    /// for `codes` guaranteed materialised, reusing (and extending) the
+    /// Oracle's shared row cache. Returns `None` when this Oracle runs
+    /// interpreted — callers fall back to the AST-walking kernel.
+    pub(crate) fn with_rows<R>(
+        &self,
+        codes: &[u64],
+        f: impl FnOnce(&CompiledSystem<'s>, &SparseMemo) -> R,
+    ) -> Option<R> {
+        let cs = self.compiled.as_ref()?;
+        let mut memo = std::mem::take(&mut *self.rows.lock().expect("row cache lock"));
+        if cs.kind() == TableKind::Sparse {
+            cs.ensure_rows(&mut memo, codes);
+        }
+        let out = f(cs, &memo);
+        // Concurrent callers may have raced the take; keeping the most
+        // recent memo is fine — it is only a cache.
+        *self.rows.lock().expect("row cache lock") = memo;
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+
+    #[test]
+    fn one_compile_many_queries() {
+        let sys = examples::flag_copy_system(3).unwrap();
+        let u = sys.universe();
+        let oracle = Oracle::new(&sys).unwrap();
+        let sources: Vec<ObjSet> = u.objects().map(ObjSet::singleton).collect();
+        for a in &sources {
+            for beta in u.objects() {
+                let via_oracle = oracle.depends(&Phi::True, a, beta).unwrap();
+                let direct = reach::depends(&sys, &Phi::True, a, beta).unwrap();
+                assert_eq!(
+                    via_oracle.as_ref().map(|w| (&w.history, &w.sigma1, &w.sigma2)),
+                    direct.as_ref().map(|w| (&w.history, &w.sigma1, &w.sigma2)),
+                );
+            }
+        }
+        let stats = oracle.stats();
+        assert_eq!(stats.compiles, 1);
+        assert_eq!(stats.searches, (sources.len() * sources.len()) as u64);
+        assert_eq!(stats.interned_phis, 1);
+    }
+
+    #[test]
+    fn sat_enumerations_are_interned() {
+        let sys = examples::flag_copy_system(3).unwrap();
+        let oracle = Oracle::new(&sys).unwrap();
+        let a = oracle.sat_codes(&Phi::True).unwrap();
+        let b = oracle.sat_codes(&Phi::True).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same φ must share one enumeration");
+        let _ = oracle.sat_codes(&Phi::False).unwrap();
+        assert_eq!(oracle.stats().interned_phis, 2);
+    }
+
+    #[test]
+    fn interpreted_oracle_never_compiles() {
+        let sys = examples::flag_copy_system(3).unwrap();
+        let u = sys.universe();
+        let oracle =
+            Oracle::with_engine(&sys, Engine::Interpreted, &CompileBudget::default()).unwrap();
+        let a = ObjSet::singleton(u.objects().next().unwrap());
+        let (_, stats) = oracle
+            .depends_with_stats(&Phi::True, &a, u.objects().last().unwrap())
+            .unwrap();
+        assert_eq!(stats.engine, "interpreted");
+        assert_eq!(oracle.stats().compiles, 0);
+    }
+
+    #[test]
+    fn matrix_agrees_with_rows() {
+        let sys = examples::nontransitive_system(2).unwrap();
+        let u = sys.universe();
+        let oracle = Oracle::new(&sys).unwrap();
+        let sources: Vec<ObjSet> = u.objects().map(ObjSet::singleton).collect();
+        let rows = oracle.sinks_matrix(&Phi::True, &sources).unwrap();
+        for (a, row) in sources.iter().zip(&rows) {
+            assert_eq!(*row, oracle.sinks(&Phi::True, a).unwrap());
+        }
+    }
+}

@@ -152,8 +152,11 @@ impl Problem {
                 }
             }
             ProblemKind::AllowedPaths { q } => {
-                for alpha in sys.universe().objects() {
-                    let sinks = crate::reach::sinks(sys, phi, &ObjSet::singleton(alpha))?;
+                // One compile + a parallel row sweep instead of a fresh
+                // per-source search state for every α.
+                let objects: Vec<ObjId> = sys.universe().objects().collect();
+                let rows = crate::worth::parallel_rows(sys, phi, &objects)?;
+                for (alpha, sinks) in objects.into_iter().zip(rows) {
                     for beta in sinks.iter() {
                         if !q(alpha, beta) {
                             out.push((alpha, beta));

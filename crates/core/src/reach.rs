@@ -20,15 +20,19 @@
 //!   the reconstructed witness and its minimal length — is identical to
 //!   the interpreted engine's.
 //!
-//! One known divergence: on *invalid* systems (operations that error on
-//! reachable states) the interpreted engine may surface the error before
-//! reaching a later witness, while the compiled engine checks the goal at
-//! discovery time and may return that witness first. On valid systems
-//! (`System::validate` passes) the engines are observationally identical.
+//! Both engines check the goal when a pair is *discovered* (inserted into
+//! the visited structure), not when it is dequeued, and both expand pairs
+//! in the same frontier × operation order. They are therefore
+//! observationally identical — same verdicts, same minimal witnesses, the
+//! same [`SearchStats`] counts, and the same first error on invalid
+//! systems.
 //!
 //! The same search underlies [`sinks`] (all β reachable from a source set,
 //! i.e. one row of the §3.6 worth measure); [`sinks_matrix`] batches many
-//! rows over a single compiled system.
+//! rows over a single compiled system. All public entry points route
+//! through a short-lived [`crate::oracle::Oracle`]; hold an `Oracle`
+//! yourself to amortise the compile and Sat(φ) enumeration across many
+//! queries.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -37,7 +41,7 @@ use crate::compiled::{
     par_map_chunks, CompileBudget, CompiledSystem, Engine, SparseMemo, TableKind, POISON,
 };
 use crate::constraint::Phi;
-use crate::depend::{sat_codes, SatPartition};
+use crate::depend::SatPartition;
 use crate::error::{Error, Result};
 use crate::fastmap::U64Set;
 use crate::history::{History, OpId};
@@ -58,11 +62,10 @@ pub struct DependsWitness {
 
 /// Diagnostics from one pair search.
 ///
-/// `visited_pairs` counts the distinct canonical pairs *discovered*;
-/// because the interpreted engine keeps discovering pairs between the
-/// goal pair's insertion and its dequeue, its count can exceed the
-/// compiled engines' on searches that stop early. On exhaustive searches
-/// (e.g. [`sinks`] without early exit) all engines agree.
+/// `visited_pairs` counts the distinct canonical pairs *discovered*.
+/// Every engine checks the goal at discovery time and stops immediately,
+/// so the count is engine-independent on early-exit searches just as on
+/// exhaustive ones.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SearchStats {
     /// Which engine ran: `"interpreted"`, `"compiled-dense"` or
@@ -104,9 +107,11 @@ fn initial_pairs(part: &SatPartition) -> Vec<Pair> {
 }
 
 /// Interpreted reference BFS over the pair graph. Calls `found` on every
-/// visited pair (in FIFO order); when `found` returns `true` the search
-/// stops and the witness is reconstructed.
-fn interpreted_search(
+/// pair as it is *discovered* (roots in ascending order, then candidates
+/// in frontier × operation order — the same order the compiled merge
+/// uses); when `found` returns `true` the search stops and the witness is
+/// reconstructed.
+pub(crate) fn interpreted_search(
     sys: &System,
     part: &SatPartition,
     mut found: impl FnMut(u64, u64) -> bool,
@@ -115,12 +120,6 @@ fn interpreted_search(
     // parent: pair -> (predecessor pair, op applied). Roots map to None.
     let mut parent: HashMap<Pair, Option<(Pair, OpId)>> = HashMap::new();
     let mut queue: VecDeque<(Pair, u32)> = VecDeque::new();
-    for p in initial_pairs(part) {
-        if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(p) {
-            e.insert(None);
-            queue.push_back((p, 0));
-        }
-    }
     let reconstruct = |parent: &HashMap<Pair, Option<(Pair, OpId)>>, mut cur: Pair| {
         let mut ops = Vec::new();
         loop {
@@ -135,23 +134,31 @@ fn interpreted_search(
         ops.reverse();
         (cur, History::from_ops(ops))
     };
-    let mut levels = 0u32;
-    while let Some((pair, depth)) = queue.pop_front() {
-        levels = levels.max(depth);
-        if found(pair.0, pair.1) {
-            let (root, history) = reconstruct(&parent, pair);
-            let witness = DependsWitness {
-                history,
-                sigma1: State::decode(u, root.0),
-                sigma2: State::decode(u, root.1),
-            };
-            let stats = SearchStats {
-                engine: "interpreted",
-                visited_pairs: parent.len() as u64,
-                levels,
-            };
-            return Ok((Some(witness), stats));
+    let witness = |parent: &HashMap<Pair, Option<(Pair, OpId)>>, pair: Pair| {
+        let (root, history) = reconstruct(parent, pair);
+        DependsWitness {
+            history,
+            sigma1: State::decode(u, root.0),
+            sigma2: State::decode(u, root.1),
         }
+    };
+    let mut levels = 0u32;
+    for p in initial_pairs(part) {
+        if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(p) {
+            e.insert(None);
+            if found(p.0, p.1) {
+                let w = witness(&parent, p);
+                let stats = SearchStats {
+                    engine: "interpreted",
+                    visited_pairs: parent.len() as u64,
+                    levels,
+                };
+                return Ok((Some(w), stats));
+            }
+            queue.push_back((p, 0));
+        }
+    }
+    while let Some((pair, depth)) = queue.pop_front() {
         let s1 = State::decode(u, pair.0);
         let s2 = State::decode(u, pair.1);
         for op in sys.op_ids() {
@@ -166,6 +173,16 @@ fn interpreted_search(
             let next = canon(n1, n2);
             if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(next) {
                 e.insert(Some((pair, op)));
+                levels = levels.max(depth + 1);
+                if found(next.0, next.1) {
+                    let w = witness(&parent, next);
+                    let stats = SearchStats {
+                        engine: "interpreted",
+                        visited_pairs: parent.len() as u64,
+                        levels,
+                    };
+                    return Ok((Some(w), stats));
+                }
                 queue.push_back((next, depth + 1));
             }
         }
@@ -224,6 +241,46 @@ impl Visited {
     }
 }
 
+/// Reusable scratch for repeated compiled searches over one system: the
+/// visited structure, the BFS node arena, and the sparse row memo.
+///
+/// [`crate::oracle::Oracle`] keeps a pool of these so a sweep of many
+/// searches allocates only on growth. Buffers must be created with the
+/// same `ns`/budget as the [`CompiledSystem`] they are used with.
+pub(crate) struct SearchBuffers {
+    visited: Visited,
+    nodes: Vec<Node>,
+    memo: SparseMemo,
+}
+
+impl SearchBuffers {
+    pub(crate) fn new(ns: u64, budget: &CompileBudget) -> SearchBuffers {
+        SearchBuffers {
+            visited: Visited::with_capacity(ns, budget),
+            nodes: Vec::new(),
+            memo: SparseMemo::default(),
+        }
+    }
+
+    /// Clears the previous search's visited marks and node arena. The
+    /// sparse row memo is retained: successor rows depend only on the
+    /// system, so they stay valid across searches.
+    fn reset(&mut self) {
+        match &mut self.visited {
+            // Every visited key has exactly one node (insert and push are
+            // 1:1 in `compiled_search`), so erasing only the node keys
+            // clears the bitmap in O(visited) instead of O(|Σ|²).
+            Visited::Dense(b) => {
+                for n in &self.nodes {
+                    b.remove(n.key);
+                }
+            }
+            Visited::Sparse(s) => s.clear(),
+        }
+        self.nodes.clear();
+    }
+}
+
 fn push_node(nodes: &mut Vec<Node>, key: u64, parent: u32, op: u32) -> Result<usize> {
     let idx = nodes.len();
     if idx >= NO_PARENT as usize {
@@ -255,9 +312,10 @@ fn reconstruct_compiled(u: &Universe, nodes: &[Node], mut idx: usize, ns: u64) -
 /// Compiled BFS over packed pair codes: level-parallel expansion with a
 /// sequential in-order merge (see module docs for why the merge order
 /// matters).
-fn compiled_search(
+pub(crate) fn compiled_search(
     cs: &CompiledSystem<'_>,
     part: &SatPartition,
+    bufs: &mut SearchBuffers,
     mut found: impl FnMut(u64, u64) -> bool,
 ) -> Result<(Option<DependsWitness>, SearchStats)> {
     let u = cs.system().universe();
@@ -267,12 +325,15 @@ fn compiled_search(
         TableKind::Dense => "compiled-dense",
         TableKind::Sparse => "compiled-sparse",
     };
-    let mut visited = Visited::with_capacity(ns, cs.budget());
-    let mut nodes: Vec<Node> = Vec::new();
-    let mut memo = SparseMemo::default();
+    bufs.reset();
+    let SearchBuffers {
+        visited,
+        nodes,
+        memo,
+    } = bufs;
 
     // Roots, goal-checked in the same ascending order the interpreted
-    // engine dequeues them. Key order equals pair order because the
+    // engine discovers them. Key order equals pair order because the
     // packing is lexicographic.
     let mut roots: Vec<u64> = Vec::new();
     for class in part.classes() {
@@ -287,14 +348,14 @@ fn compiled_search(
         if !visited.insert(key) {
             continue;
         }
-        let idx = push_node(&mut nodes, key, NO_PARENT, 0)?;
+        let idx = push_node(nodes, key, NO_PARENT, 0)?;
         if found(key / ns, key % ns) {
             let stats = SearchStats {
                 engine,
                 visited_pairs: nodes.len() as u64,
                 levels: 0,
             };
-            return Ok((Some(reconstruct_compiled(u, &nodes, idx, ns)), stats));
+            return Ok((Some(reconstruct_compiled(u, nodes, idx, ns)), stats));
         }
     }
 
@@ -314,7 +375,7 @@ fn compiled_search(
             }
             codes.sort_unstable();
             codes.dedup();
-            cs.ensure_rows(&mut memo, &codes);
+            cs.ensure_rows(memo, &codes);
         }
         // Expand the frontier in parallel; each chunk emits candidates in
         // frontier × op order.
@@ -323,8 +384,8 @@ fn compiled_search(
             .enumerate()
             .map(|(i, n)| (n.key, (lo + i) as u32))
             .collect();
-        let memo_ref = &memo;
-        let visited_ref = &visited;
+        let memo_ref = &*memo;
+        let visited_ref = &*visited;
         let candidates: Vec<Vec<Node>> = par_map_chunks(&frontier, 64, |chunk| {
             let mut out = Vec::new();
             for &(key, idx) in chunk {
@@ -381,7 +442,7 @@ fn compiled_search(
             if cand.key == POISON {
                 let pkey = nodes[cand.parent as usize].key;
                 let op = cand.op as usize;
-                let side = if cs.succ(&memo, pkey / ns, op) == POISON {
+                let side = if cs.succ(memo, pkey / ns, op) == POISON {
                     pkey / ns
                 } else {
                     pkey % ns
@@ -390,14 +451,14 @@ fn compiled_search(
             }
             if visited.insert(cand.key) {
                 levels = depth;
-                let idx = push_node(&mut nodes, cand.key, cand.parent, cand.op)?;
+                let idx = push_node(nodes, cand.key, cand.parent, cand.op)?;
                 if found(cand.key / ns, cand.key % ns) {
                     let stats = SearchStats {
                         engine,
                         visited_pairs: nodes.len() as u64,
                         levels,
                     };
-                    return Ok((Some(reconstruct_compiled(u, &nodes, idx, ns)), stats));
+                    return Ok((Some(reconstruct_compiled(u, nodes, idx, ns)), stats));
                 }
             }
         }
@@ -412,9 +473,9 @@ fn compiled_search(
 
 /// State spaces at or above this size cannot use packed `u64` pair keys;
 /// [`Engine::Auto`] falls back to the interpreted engine there.
-const MAX_COMPILED_STATES: u64 = u32::MAX as u64;
+pub(crate) const MAX_COMPILED_STATES: u64 = u32::MAX as u64;
 
-fn wants_interpreter(engine: Engine, ns: u64) -> bool {
+pub(crate) fn wants_interpreter(engine: Engine, ns: u64) -> bool {
     match engine {
         Engine::Interpreted => true,
         Engine::Auto => ns >= MAX_COMPILED_STATES,
@@ -432,7 +493,7 @@ const AUTO_SPARSE_SAT_RATIO: u64 = 16;
 
 /// Refines [`Engine::Auto`] with the size of Sat(φ) (see
 /// [`AUTO_SPARSE_SAT_RATIO`]); other engines pass through unchanged.
-fn refine_auto(engine: Engine, sat_states: u64, ns: u64) -> Engine {
+pub(crate) fn refine_auto(engine: Engine, sat_states: u64, ns: u64) -> Engine {
     match engine {
         Engine::Auto if sat_states.saturating_mul(AUTO_SPARSE_SAT_RATIO) < ns => {
             Engine::CompiledSparse
@@ -441,7 +502,9 @@ fn refine_auto(engine: Engine, sat_states: u64, ns: u64) -> Engine {
     }
 }
 
-/// Engine-dispatching core shared by every public search entry point.
+/// Engine-dispatching core shared by every public search entry point:
+/// builds a one-query [`crate::oracle::Oracle`] (compile once, Sat(φ)
+/// enumerated once) and runs the search through it.
 fn search_with(
     sys: &System,
     phi: &Phi,
@@ -450,24 +513,14 @@ fn search_with(
     budget: &CompileBudget,
     found: impl FnMut(u64, u64) -> bool,
 ) -> Result<(Option<DependsWitness>, SearchStats)> {
-    let ns = sys.state_count()?;
-    let part = SatPartition::new(sys, phi, a)?;
-    if wants_interpreter(engine, ns) {
-        interpreted_search(sys, &part, found)
-    } else if ns >= MAX_COMPILED_STATES {
-        Err(Error::Invalid(format!(
-            "state space of {ns} states exceeds the compiled pair-key range"
-        )))
-    } else {
-        let engine = refine_auto(engine, part.num_states() as u64, ns);
-        let cs = CompiledSystem::compile(sys, engine, budget)?;
-        compiled_search(&cs, &part, found)
-    }
+    let oracle = crate::oracle::Oracle::for_phi(sys, phi, engine, budget)?;
+    let part = oracle.partition(phi, a)?;
+    oracle.search_partition(&part, found)
 }
 
 /// Precomputed `(stride, domain size)` for extracting one object's index
 /// from an encoded state without decoding.
-fn extractor(u: &Universe, obj: ObjId) -> (u64, u64) {
+pub(crate) fn extractor(u: &Universe, obj: ObjId) -> (u64, u64) {
     (u.stride(obj) as u64, u.domain(obj).size() as u64)
 }
 
@@ -613,55 +666,15 @@ pub fn sinks_matrix_with(
     if sources.is_empty() {
         return Ok(Vec::new());
     }
-    let ns = sys.state_count()?;
-    let u = sys.universe();
-    let codes = sat_codes(sys, phi)?;
-    let cs = if wants_interpreter(engine, ns) {
-        None
-    } else if ns >= MAX_COMPILED_STATES {
-        return Err(Error::Invalid(format!(
-            "state space of {ns} states exceeds the compiled pair-key range"
-        )));
-    } else {
-        let engine = refine_auto(engine, codes.len() as u64, ns);
-        Some(CompiledSystem::compile(sys, engine, budget)?)
-    };
-    let extractors: Vec<(ObjId, u64, u64)> = u
-        .objects()
-        .map(|obj| {
-            let (stride, dom) = extractor(u, obj);
-            (obj, stride, dom)
-        })
-        .collect();
-    let total = extractors.len();
-    let row = |src: &ObjSet| -> Result<ObjSet> {
-        let part = SatPartition::from_codes(u, &codes, src);
-        let mut out = ObjSet::empty();
-        let mut count = 0usize;
-        let found = |c1: u64, c2: u64| {
-            for &(obj, stride, dom) in &extractors {
-                if !out.contains(obj) && (c1 / stride) % dom != (c2 / stride) % dom {
-                    out.insert(obj);
-                    count += 1;
-                }
-            }
-            count == total
-        };
-        match &cs {
-            Some(cs) => compiled_search(cs, &part, found)?,
-            None => interpreted_search(sys, &part, found)?,
-        };
-        Ok(out)
-    };
-    let chunked: Vec<Vec<Result<ObjSet>>> =
-        par_map_chunks(sources, 1, |chunk| chunk.iter().map(&row).collect());
-    chunked.into_iter().flatten().collect()
+    let oracle = crate::oracle::Oracle::for_phi(sys, phi, engine, budget)?;
+    oracle.sinks_matrix(phi, sources)
 }
 
 /// Bounded variant of [`depends`]: only histories of length ≤ `max_len`.
 ///
 /// Used by tests to cross-check the BFS against brute-force enumeration.
-/// One Sat(φ) partition is shared across all enumerated histories.
+/// One Sat(φ) partition is shared across all enumerated histories (the
+/// Oracle's interned enumeration).
 pub fn depends_bounded(
     sys: &System,
     phi: &Phi,
@@ -669,17 +682,9 @@ pub fn depends_bounded(
     beta: ObjId,
     max_len: usize,
 ) -> Result<Option<DependsWitness>> {
-    let part = SatPartition::new(sys, phi, a)?;
-    for h in crate::history::histories_up_to(sys.num_ops(), max_len) {
-        if let Some(w) = crate::depend::strongly_depends_after_with(sys, &part, beta, &h)? {
-            return Ok(Some(DependsWitness {
-                history: h,
-                sigma1: w.sigma1,
-                sigma2: w.sigma2,
-            }));
-        }
-    }
-    Ok(None)
+    let oracle =
+        crate::oracle::Oracle::for_phi(sys, phi, Engine::Interpreted, &CompileBudget::default())?;
+    oracle.depends_bounded(phi, a, beta, max_len)
 }
 
 #[cfg(test)]
@@ -885,6 +890,7 @@ mod tests {
         let a = ObjSet::singleton(u.obj("alpha").unwrap());
         let b = u.obj("beta").unwrap();
         let budget = CompileBudget::default();
+        let mut early: Vec<SearchStats> = Vec::new();
         for (engine, name) in [
             (Engine::Interpreted, "interpreted"),
             (Engine::CompiledDense, "compiled-dense"),
@@ -894,8 +900,16 @@ mod tests {
             assert_eq!(stats.engine, name);
             assert!(stats.visited_pairs > 0);
             assert_eq!(stats.levels as usize, w.unwrap().history.len());
+            early.push(stats);
+        }
+        // Every engine goal-checks at discovery, so early-exit searches
+        // count the same pairs and depth.
+        for stats in &early[1..] {
+            assert_eq!(stats.visited_pairs, early[0].visited_pairs);
+            assert_eq!(stats.levels, early[0].levels);
         }
         // Exhaustive searches count exactly the same reachable pairs.
+        let ns = sys.state_count().unwrap();
         let exhausted: Vec<SearchStats> = [Engine::Interpreted, Engine::CompiledDense]
             .into_iter()
             .map(|engine| {
@@ -906,12 +920,56 @@ mod tests {
                     interpreted_search(&sys, &part, |_, _| false).unwrap().1
                 } else {
                     let cs = CompiledSystem::compile(&sys, engine, &budget).unwrap();
-                    compiled_search(&cs, &part, |_, _| false).unwrap().1
+                    let mut bufs = SearchBuffers::new(ns, &budget);
+                    compiled_search(&cs, &part, &mut bufs, |_, _| false)
+                        .unwrap()
+                        .1
                 }
             })
             .collect();
         assert_eq!(exhausted[0].visited_pairs, exhausted[1].visited_pairs);
         assert_eq!(exhausted[0].levels, exhausted[1].levels);
+    }
+
+    #[test]
+    fn buffers_reused_across_searches_do_not_leak() {
+        // One SearchBuffers driven through early-exit and exhaustive
+        // searches over different sources must match fresh buffers
+        // every time.
+        let sys = flag_sys();
+        let u = sys.universe();
+        let b = u.obj("beta").unwrap();
+        let budget = CompileBudget::default();
+        let ns = sys.state_count().unwrap();
+        let (b_stride, b_dom) = extractor(u, b);
+        for engine in [Engine::CompiledDense, Engine::CompiledSparse] {
+            let cs = CompiledSystem::compile(&sys, engine, &budget).unwrap();
+            let mut reused = SearchBuffers::new(ns, &budget);
+            for _round in 0..3 {
+                for src in ["alpha", "beta", "flag", "x"] {
+                    let a = ObjSet::singleton(u.obj(src).unwrap());
+                    let part = SatPartition::new(&sys, &Phi::True, &a).unwrap();
+                    // Early-exit search (leaves the buffers mid-sweep).
+                    let goal = |c1: u64, c2: u64| {
+                        (c1 / b_stride) % b_dom != (c2 / b_stride) % b_dom
+                    };
+                    let mut fresh = SearchBuffers::new(ns, &budget);
+                    let want = compiled_search(&cs, &part, &mut fresh, goal).unwrap();
+                    let got = compiled_search(&cs, &part, &mut reused, goal).unwrap();
+                    assert_eq!(got.1, want.1, "stats diverge for {src} / {engine:?}");
+                    assert_eq!(
+                        got.0.map(|w| (w.history, w.sigma1, w.sigma2)),
+                        want.0.map(|w| (w.history, w.sigma1, w.sigma2)),
+                        "witness diverges for {src} / {engine:?}"
+                    );
+                    // Exhaustive search.
+                    let mut fresh = SearchBuffers::new(ns, &budget);
+                    let want = compiled_search(&cs, &part, &mut fresh, |_, _| false).unwrap();
+                    let got = compiled_search(&cs, &part, &mut reused, |_, _| false).unwrap();
+                    assert_eq!(got.1, want.1, "exhaustive stats diverge for {src}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -9,11 +9,26 @@
 //! cylinder belongs to the maximal solution iff it alone admits no
 //! dependency.
 
+use crate::compiled::par_map_chunks;
 use crate::constraint::{Phi, StateSet};
+use crate::depend::SatPartition;
 use crate::error::{Error, Result};
+use crate::oracle::Oracle;
 use crate::problem::Problem;
 use crate::system::System;
 use crate::universe::{ObjId, ObjSet};
+
+/// Diagnostics from one maximal-solution construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Cylinder classes of the `=A=` partition examined.
+    pub classes: u64,
+    /// Times the system was compiled — always ≤ 1, because the whole
+    /// sweep shares one [`Oracle`].
+    pub compiles: u64,
+    /// Pair searches run (one per cylinder class).
+    pub searches: u64,
+}
 
 /// Constructs the unique maximal A-independent solution to
 /// `X(φ) ≡ ¬A ▷φ β ∧ φ A-independent`, as an extensional constraint.
@@ -24,22 +39,69 @@ use crate::universe::{ObjId, ObjSet};
 /// is a solution iff each cylinder is — hence the union of all good
 /// cylinders is the unique maximal solution (this is Thm 3-1 made
 /// constructive).
+///
+/// The system is compiled once; the per-cylinder searches run in
+/// parallel against the shared [`Oracle`] (see
+/// [`unique_maximal_independent_solution_stats`] for the counters).
 pub fn unique_maximal_independent_solution(
     sys: &System,
     sources: &ObjSet,
     sink: ObjId,
 ) -> Result<Phi> {
+    Ok(unique_maximal_independent_solution_stats(sys, sources, sink)?.0)
+}
+
+/// [`unique_maximal_independent_solution`], also reporting how much work
+/// the sweep did — in particular that the system was compiled exactly
+/// once for all cylinder classes.
+pub fn unique_maximal_independent_solution_stats(
+    sys: &System,
+    sources: &ObjSet,
+    sink: ObjId,
+) -> Result<(Phi, SolveStats)> {
+    let oracle = Oracle::new(sys)?;
+    let phi = unique_maximal_independent_solution_with(&oracle, sources, sink)?;
+    let os = oracle.stats();
+    let stats = SolveStats {
+        classes: os.searches,
+        compiles: os.compiles,
+        searches: os.searches,
+    };
+    Ok((phi, stats))
+}
+
+/// [`unique_maximal_independent_solution`] against a caller-held
+/// [`Oracle`], so several solves (different sources/sinks) share one
+/// compile.
+pub fn unique_maximal_independent_solution_with(
+    oracle: &Oracle<'_>,
+    sources: &ObjSet,
+    sink: ObjId,
+) -> Result<Phi> {
+    let sys = oracle.system();
     let n = sys.state_count()?;
-    let u = sys.universe();
+    let partition = oracle.partition(&Phi::True, sources)?;
+    let classes = partition.classes();
+    // Initial pairs never cross cylinders, so each class is decided by
+    // its own single-class search; the sweep is embarrassingly parallel.
+    let verdicts: Vec<Result<bool>> = par_map_chunks(classes, 1, |chunk| {
+        chunk
+            .iter()
+            .map(|class| -> Result<bool> {
+                let part = SatPartition::from_classes(vec![class.clone()]);
+                Ok(oracle.depends_partition(&part, sink)?.0.is_none())
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     let mut solution = StateSet::new(n);
-    for class in crate::depend::classes(sys, &Phi::True, sources)? {
-        let mut cyl = StateSet::new(n);
-        for s in &class {
-            cyl.insert(s.encode(u));
-        }
-        let phi = Phi::from_set(cyl.clone());
-        if crate::reach::depends(sys, &phi, sources, sink)?.is_none() {
-            solution.union_with(&cyl);
+    for (class, good) in classes.iter().zip(verdicts) {
+        if good? {
+            for &code in class {
+                solution.insert(code);
+            }
         }
     }
     Ok(Phi::from_set(solution))
@@ -102,17 +164,44 @@ pub fn maximal_value_constraints(
         )));
     }
     let a = ObjSet::singleton(alpha);
+    let u = sys.universe();
+    let n = sys.state_count()?;
+    let oracle = Oracle::new(sys)?;
+    // Bucket state codes by α's value once; Sat(α ∈ S) is then a merge
+    // of buckets instead of a fresh state-space sweep per subset.
+    let stride = u.stride(alpha) as u64;
+    let dsize = dom as u64;
+    let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); dom];
+    for code in 0..n {
+        buckets[((code / stride) % dsize) as usize].push(code);
+    }
     // A subset S is a solution iff ¬α ▷(α∈S) β. Solutions are downward
     // closed (Thm 2-3), so the maximal ones form an antichain of subsets.
+    // All subsets are checked in parallel against the one compiled
+    // system.
+    let masks: Vec<u32> = (1u32..(1u32 << dom)).collect();
+    let verdicts: Vec<Result<bool>> = par_map_chunks(&masks, 16, |chunk| {
+        chunk
+            .iter()
+            .map(|&mask| -> Result<bool> {
+                let mut codes: Vec<u64> = Vec::new();
+                for (i, bucket) in buckets.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        codes.extend_from_slice(bucket);
+                    }
+                }
+                codes.sort_unstable();
+                let part = SatPartition::from_codes(u, &codes, &a);
+                Ok(oracle.depends_partition(&part, beta)?.0.is_none())
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     let mut solutions: Vec<u32> = Vec::new();
-    for mask in 1u32..(1 << dom) {
-        let allowed: Vec<u32> = (0..dom as u32).filter(|i| mask & (1 << i) != 0).collect();
-        let vc = ValueConstraint {
-            object: alpha,
-            allowed,
-        };
-        let phi = vc.to_phi(sys)?;
-        if crate::reach::depends(sys, &phi, &a, beta)?.is_none() {
+    for (&mask, good) in masks.iter().zip(verdicts) {
+        if good? {
             solutions.push(mask);
         }
     }
@@ -285,6 +374,40 @@ mod tests {
                 .or(Expr::var(xb).has_rights(Rights::W).not()),
         );
         assert_eq!(computed.sat(&sys).unwrap(), expected.sat(&sys).unwrap());
+    }
+
+    #[test]
+    fn maximal_solution_compiles_once_and_matches_sequential_reference() {
+        let sys = threshold();
+        let u = sys.universe();
+        let a = u.obj("alpha").unwrap();
+        let b = u.obj("beta").unwrap();
+        let (phi, stats) =
+            unique_maximal_independent_solution_stats(&sys, &ObjSet::singleton(a), b).unwrap();
+        assert_eq!(stats.compiles, 1, "one compile for the whole sweep");
+        assert!(stats.classes >= 1);
+        assert_eq!(stats.searches, stats.classes);
+        // Same extensional result as the pre-Oracle sequential path:
+        // one per-cylinder `reach::depends` call per class.
+        let n = sys.state_count().unwrap();
+        let mut expected = StateSet::new(n);
+        for class in crate::depend::classes(&sys, &Phi::True, &ObjSet::singleton(a)).unwrap() {
+            let mut cyl = StateSet::new(n);
+            for s in &class {
+                cyl.insert(s.encode(u));
+            }
+            let solo = crate::reach::depends(
+                &sys,
+                &Phi::from_set(cyl.clone()),
+                &ObjSet::singleton(a),
+                b,
+            )
+            .unwrap();
+            if solo.is_none() {
+                expected.union_with(&cyl);
+            }
+        }
+        assert_eq!(phi.sat(&sys).unwrap(), expected);
     }
 
     #[test]

@@ -313,6 +313,33 @@ impl Universe {
     pub fn stride(&self, a: ObjId) -> u128 {
         self.strides[a.index()]
     }
+
+    /// Per-object `(stride, domain size)` pairs for extracting mixed-radix
+    /// digits from packed state codes. Only meaningful when the state count
+    /// fits in `u64` (checked by the enumeration entry points).
+    pub(crate) fn dims(&self) -> Vec<(u64, u64)> {
+        (0..self.num_objects())
+            .map(|i| {
+                let obj = ObjId::from_index(i);
+                (self.stride(obj) as u64, self.domain(obj).size() as u64)
+            })
+            .collect()
+    }
+}
+
+/// The arithmetic A-projection key of a packed state code:
+/// `Σ_{α∈A} stride_α · digit_α(code)`. Two codes share a key iff their
+/// states agree on every object in `A`; `code - proj_key(code)` is the
+/// matching complement-projection key. Both keys are injective on their
+/// respective projection classes, so they replace `Vec<u32>` projection
+/// vectors as grouping keys on prover hot paths.
+pub(crate) fn proj_key(dims: &[(u64, u64)], a: &ObjSet, code: u64) -> u64 {
+    a.iter()
+        .map(|obj| {
+            let (stride, dom) = dims[obj.index()];
+            stride * ((code / stride) % dom)
+        })
+        .sum()
 }
 
 impl fmt::Display for Universe {

@@ -77,9 +77,13 @@ pub fn transitive_flows(sys: &System) -> Result<Relation> {
 /// The exact semantic flow relation `{(α, β) | α ▷φ β}` via pair
 /// reachability (one sweep per source object).
 pub fn semantic_flows(sys: &System, phi: &Phi) -> Result<Relation> {
+    // One compile + parallel row sweep over all sources, rather than a
+    // fresh per-source search for every α.
+    let sources: Vec<ObjSet> = sys.universe().objects().map(ObjSet::singleton).collect();
+    let rows = sd_core::reach::sinks_matrix(sys, phi, &sources)?;
     let mut out = Relation::new();
-    for alpha in sys.universe().objects() {
-        for beta in sd_core::reach::sinks(sys, phi, &ObjSet::singleton(alpha))?.iter() {
+    for (alpha, sinks) in sys.universe().objects().zip(rows) {
+        for beta in sinks.iter() {
             out.insert((alpha, beta));
         }
     }
