@@ -41,22 +41,20 @@ fn bench_induction_vs_exact(c: &mut Criterion) {
                 sd_core::induction::prove_cor_4_3(sys, &phi, &q, "chain").expect("prover succeeds")
             })
         });
+        let exact_query = sd_core::Query::new(phi.clone(), ObjSet::singleton(alpha)).beta(beta);
         g.bench_with_input(BenchmarkId::new("exact_bfs", n), &sys, |b, sys| {
-            b.iter(|| {
-                sd_core::reach::depends(sys, &phi, &ObjSet::singleton(alpha), beta)
-                    .expect("oracle succeeds")
-            })
+            b.iter(|| exact_query.run_on(sys).expect("oracle succeeds"))
         });
         // Ablation: the naive pre-pair-BFS approach — enumerate every
         // history up to a bound and run the per-history check. Exponential
         // in the bound, and still only *bounded*; measured for the small
         // instance only (it is already orders of magnitude slower).
         if n == 3 {
+            let bounded_query = sd_core::Query::new(phi.clone(), ObjSet::singleton(alpha))
+                .beta(beta)
+                .bounded(2);
             g.bench_with_input(BenchmarkId::new("bounded_enum_len2", n), &sys, |b, sys| {
-                b.iter(|| {
-                    sd_core::reach::depends_bounded(sys, &phi, &ObjSet::singleton(alpha), beta, 2)
-                        .expect("bounded search succeeds")
-                })
+                b.iter(|| bounded_query.run_on(sys).expect("bounded search succeeds"))
             });
         }
     }

@@ -13,7 +13,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sd_bench::workloads::{pointer_chain_pinned, random_system};
-use sd_core::{CompileBudget, Engine, ObjSet, Phi};
+use sd_core::{CompileBudget, Engine, ObjSet, Phi, Query};
 
 const ENGINES: [(Engine, &str); 2] = [
     (Engine::Interpreted, "interpreted"),
@@ -30,15 +30,14 @@ fn bench_random(c: &mut Criterion) {
         let beta = u.obj(&format!("x{}", n - 1)).expect("last object exists");
         let states = sys.state_count().expect("countable");
         for (engine, name) in ENGINES {
+            let query = Query::new(Phi::True, a.clone())
+                .beta(beta)
+                .engine(engine)
+                .budget(budget);
             g.bench_with_input(
                 BenchmarkId::new(name, format!("n{n}_k{k}_{states}states")),
                 &sys,
-                |b, sys| {
-                    b.iter(|| {
-                        sd_core::reach::depends_with(sys, &Phi::True, &a, beta, engine, &budget)
-                            .expect("depends succeeds")
-                    })
-                },
+                |b, sys| b.iter(|| query.run_on(sys).expect("depends succeeds")),
             );
         }
     }
@@ -58,15 +57,14 @@ fn bench_pointer_chain(c: &mut Criterion) {
         let beta = u.obj(&format!("o{}", n - 1)).expect("last object exists");
         let states = sys.state_count().expect("countable");
         for (engine, name) in ENGINES {
+            let query = Query::new(phi.clone(), a.clone())
+                .beta(beta)
+                .engine(engine)
+                .budget(budget);
             g.bench_with_input(
                 BenchmarkId::new(name, format!("n{n}_d{d}_{states}states")),
                 &sys,
-                |b, sys| {
-                    b.iter(|| {
-                        sd_core::reach::depends_with(sys, &phi, &a, beta, engine, &budget)
-                            .expect("depends succeeds")
-                    })
-                },
+                |b, sys| b.iter(|| query.run_on(sys).expect("depends succeeds")),
             );
         }
     }

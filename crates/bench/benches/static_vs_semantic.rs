@@ -27,18 +27,16 @@ fn bench_static_vs_semantic(c: &mut Criterion) {
         let compiled = sd_lang::compile(&p).expect("program compiles");
         let from = compiled.var("v0").expect("v0");
         let to = compiled.var("v3").expect("v3");
+        let semantic_query =
+            sd_core::Query::new(compiled.at_entry(), ObjSet::singleton(from)).beta(to);
         g.bench_with_input(
             BenchmarkId::new("semantic_exact", stmts),
             &compiled,
             |b, compiled| {
                 b.iter(|| {
-                    sd_core::reach::depends(
-                        &compiled.system,
-                        &compiled.at_entry(),
-                        &ObjSet::singleton(from),
-                        to,
-                    )
-                    .expect("oracle succeeds")
+                    semantic_query
+                        .run_on(&compiled.system)
+                        .expect("oracle succeeds")
                 })
             },
         );

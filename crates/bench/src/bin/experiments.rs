@@ -3,6 +3,11 @@
 //! Each section corresponds to one experiment id from DESIGN.md §4 and
 //! reproduces one worked example, theorem or claim from the paper. Run
 //! with `cargo run -p sd-bench --bin experiments --release`.
+//!
+//! `--telemetry OUT.jsonl` instead runs a short instrumented workload
+//! (cold + warm `sinks_matrix` sweeps and a witness query against a
+//! shared Oracle) and writes every [`sd_core::QueryEvent`] as one JSON
+//! object per line — the raw material for cache-attribution analysis.
 
 use std::time::Instant;
 
@@ -20,13 +25,24 @@ fn yes(b: bool) -> String {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An optional argument re-runs just one performance section (p2, p3
-    // or p5) instead of the whole harness.
+    // or p5) instead of the whole harness; `--telemetry OUT.jsonl` runs
+    // the instrumented workload and writes an event log.
     if let Some(section) = std::env::args().nth(1) {
         match section.as_str() {
             "p2" => p2_pair_bfs()?,
             "p3" => p3_static_vs_semantic()?,
             "p5" => p5_provers()?,
-            other => return Err(format!("unknown section {other:?} (try p2, p3, p5)").into()),
+            "--telemetry" => {
+                let out = std::env::args()
+                    .nth(2)
+                    .ok_or("--telemetry requires an output path (e.g. out.jsonl)")?;
+                telemetry_log(&out)?;
+            }
+            other => {
+                return Err(
+                    format!("unknown section {other:?} (try p2, p3, p5, --telemetry)").into(),
+                )
+            }
         }
         return Ok(());
     }
@@ -57,6 +73,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// `--telemetry OUT.jsonl`: run an instrumented workload and dump every
+/// query event as JSON Lines. The workload exercises the paths a serving
+/// layer cares about: one compile, a cold `sinks_matrix` sweep (partition
+/// miss), a warm repeat (partition hit), and a per-query witness search.
+fn telemetry_log(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    use std::io::BufWriter;
+    use std::sync::Arc;
+
+    use sd_core::{CompileBudget, Engine, JsonLinesSink, Oracle, Query, Sink};
+
+    let sys = examples::flag_copy_system(3)?;
+    let file = std::fs::File::create(path)?;
+    let sink: Arc<JsonLinesSink<BufWriter<std::fs::File>>> =
+        Arc::new(JsonLinesSink::new(BufWriter::new(file)));
+    let oracle = Oracle::with_sink(
+        &sys,
+        Engine::Auto,
+        &CompileBudget::default(),
+        sink.clone() as Arc<dyn Sink>,
+    )?;
+
+    let u = sys.universe();
+    let sources: Vec<ObjSet> = u.objects().map(ObjSet::singleton).collect();
+    let cold = oracle.sinks_matrix(&Phi::True, &sources)?;
+    let warm = oracle.sinks_matrix(&Phi::True, &sources)?;
+    assert_eq!(cold, warm, "warm sweep must agree with the cold one");
+
+    let alpha = u.obj("alpha")?;
+    let beta = u.obj("beta")?;
+    let out = Query::new(Phi::True, ObjSet::singleton(alpha))
+        .beta(beta)
+        .run(&oracle)?;
+    println!(
+        "telemetry: α ▷ β = {}; engine = {}, {} pair expansions, partition cached = {}",
+        yes(out.holds()),
+        out.report.engine,
+        out.report.pair_expansions,
+        out.report.partition_cached,
+    );
+
+    drop(oracle);
+    let writer = Arc::into_inner(sink).expect("oracle dropped, sink unshared");
+    writer
+        .into_inner()
+        .into_inner()
+        .map_err(|e| std::io::Error::from(e.error().kind()))?;
+    println!("telemetry: events written to {path}");
+    Ok(())
+}
+
 /// E1 (§2.2): copying conveys variety; constraints remove it.
 fn e1_variety() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== E1 (§2.2): variety and its elimination ==");
@@ -66,7 +132,10 @@ fn e1_variety() -> Result<(), Box<dyn std::error::Error>> {
         let u = sys.universe();
         let a = u.obj("alpha")?;
         let b = u.obj("beta")?;
-        let free = sd_core::reach::depends(&sys, &Phi::True, &ObjSet::singleton(a), b)?;
+        let free = sd_core::Query::new(Phi::True, ObjSet::singleton(a).clone())
+            .beta(b)
+            .run_on(&sys)?
+            .into_witness();
         t.row(&[
             format!("β ← α ({k} values)"),
             "tt".into(),
@@ -74,7 +143,10 @@ fn e1_variety() -> Result<(), Box<dyn std::error::Error>> {
             "yes".into(),
         ]);
         let constant = Phi::expr(Expr::var(a).eq(Expr::int(k / 2)));
-        let blocked = sd_core::reach::depends(&sys, &constant, &ObjSet::singleton(a), b)?;
+        let blocked = sd_core::Query::new(constant.clone(), ObjSet::singleton(a).clone())
+            .beta(b)
+            .run_on(&sys)?
+            .into_witness();
         t.row(&[
             format!("β ← α ({k} values)"),
             format!("α = {}", k / 2),
@@ -86,7 +158,10 @@ fn e1_variety() -> Result<(), Box<dyn std::error::Error>> {
     let u = sys.universe();
     let a = u.obj("alpha")?;
     let b = u.obj("beta")?;
-    let free = sd_core::reach::depends(&sys, &Phi::True, &ObjSet::singleton(a), b)?;
+    let free = sd_core::Query::new(Phi::True, ObjSet::singleton(a).clone())
+        .beta(b)
+        .run_on(&sys)?
+        .into_witness();
     t.row(&[
         "if α<10 then β←0 else β←1".into(),
         "tt".into(),
@@ -94,7 +169,10 @@ fn e1_variety() -> Result<(), Box<dyn std::error::Error>> {
         "yes (1 bit)".into(),
     ]);
     let lt10 = Phi::expr(Expr::var(a).lt(Expr::int(10)));
-    let blocked = sd_core::reach::depends(&sys, &lt10, &ObjSet::singleton(a), b)?;
+    let blocked = sd_core::Query::new(lt10.clone(), ObjSet::singleton(a).clone())
+        .beta(b)
+        .run_on(&sys)?
+        .into_witness();
     t.row(&[
         "if α<10 then β←0 else β←1".into(),
         "α < 10".into(),
@@ -312,7 +390,10 @@ fn e6_pointer_chains() -> Result<(), Box<dyn std::error::Error>> {
         let proof = sd_core::induction::prove_cor_4_3(&sys, &phi, &q, "Chain(x) ⊃ Chain(y)")?;
         let ind_ms = t0.elapsed().as_secs_f64() * 1e3;
         let t1 = Instant::now();
-        let exact = sd_core::reach::depends(&sys, &phi, &ObjSet::singleton(alpha), beta)?;
+        let exact = sd_core::Query::new(phi.clone(), ObjSet::singleton(alpha).clone())
+            .beta(beta)
+            .run_on(&sys)?
+            .into_witness();
         let exact_ms = t1.elapsed().as_secs_f64() * 1e3;
         t.row(&[
             n.to_string(),
@@ -355,7 +436,10 @@ fn e7_nontransitivity() -> Result<(), Box<dyn std::error::Error>> {
         yes(ab.is_some()),
         "no (non-transitive!)".into(),
     ]);
-    let ab_any = sd_core::reach::depends(&sys, &Phi::True, &ObjSet::singleton(a), b)?;
+    let ab_any = sd_core::Query::new(Phi::True, ObjSet::singleton(a).clone())
+        .beta(b)
+        .run_on(&sys)?
+        .into_witness();
     t.row(&[
         "α ▷ β (any history)".into(),
         yes(ab_any.is_some()),
@@ -412,13 +496,19 @@ fn e8_relative_autonomy() -> Result<(), Box<dyn std::error::Error>> {
         )?),
         "yes".into(),
     ]);
-    let single = sd_core::reach::depends(&sys, &phi, &ObjSet::singleton(a1), b)?;
+    let single = sd_core::Query::new(phi.clone(), ObjSet::singleton(a1).clone())
+        .beta(b)
+        .run_on(&sys)?
+        .into_witness();
     t.row(&[
         "α1 ▷φ β (β ← α1)".into(),
         yes(single.is_some()),
         "no — yet info IS transmitted".into(),
     ]);
-    let pair = sd_core::reach::depends(&sys, &phi, &ObjSet::from_iter([a1, a2]), b)?;
+    let pair = sd_core::Query::new(phi.clone(), ObjSet::from_iter([a1, a2]).clone())
+        .beta(b)
+        .run_on(&sys)?
+        .into_witness();
     t.row(&[
         "{α1,α2} ▷φ β".into(),
         yes(pair.is_some()),
@@ -432,7 +522,10 @@ fn e8_relative_autonomy() -> Result<(), Box<dyn std::error::Error>> {
     let sa2 = su.obj("a2")?;
     let sb = su.obj("beta")?;
     let sphi = Phi::expr(Expr::var(sa1).eq(Expr::var(sa2)));
-    let sub_pair = sd_core::reach::depends(&sub, &sphi, &ObjSet::from_iter([sa1, sa2]), sb)?;
+    let sub_pair = sd_core::Query::new(sphi.clone(), ObjSet::from_iter([sa1, sa2]).clone())
+        .beta(sb)
+        .run_on(&sub)?
+        .into_witness();
     println!(
         "β ← α1 − α2 with φ: α1 = α2: {{α1,α2}} ▷φ β = {} (paper: no — β always 0)",
         yes(sub_pair.is_some())
@@ -495,7 +588,10 @@ fn e10_oscillator() -> Result<(), Box<dyn std::error::Error>> {
         yes(sd_core::classify::is_invariant(&sys, &phi)?),
         "no".into(),
     ]);
-    let relax = sd_core::reach::depends(&sys, &phi_star, &ObjSet::singleton(a), b)?;
+    let relax = sd_core::Query::new(phi_star.clone(), ObjSet::singleton(a).clone())
+        .beta(b)
+        .run_on(&sys)?
+        .into_witness();
     t.row(&[
         "relaxation φ*: α = ±37 — α ▷φ* β".into(),
         yes(relax.is_some()),
@@ -517,7 +613,10 @@ fn e10_oscillator() -> Result<(), Box<dyn std::error::Error>> {
         yes(proof.is_proved()),
         "yes".into(),
     ]);
-    let exact = sd_core::reach::depends(&sys, &phi, &ObjSet::singleton(a), b)?;
+    let exact = sd_core::Query::new(phi.clone(), ObjSet::singleton(a).clone())
+        .beta(b)
+        .run_on(&sys)?
+        .into_witness();
     t.row(&["exact: α ▷φ β".into(), yes(exact.is_some()), "no".into()]);
     print!("{}", t.render());
     Ok(())
@@ -754,9 +853,18 @@ fn e17_set_sources() -> Result<(), Box<dyn std::error::Error>> {
     let a2 = u.obj("a2")?;
     let b = u.obj("beta")?;
     let pair = ObjSet::from_iter([a1, a2]);
-    let set_dep = sd_core::reach::depends(&sys, &Phi::True, &pair, b)?;
-    let single1 = sd_core::reach::depends(&sys, &Phi::True, &ObjSet::singleton(a1), b)?;
-    let single2 = sd_core::reach::depends(&sys, &Phi::True, &ObjSet::singleton(a2), b)?;
+    let set_dep = sd_core::Query::new(Phi::True, pair.clone())
+        .beta(b)
+        .run_on(&sys)?
+        .into_witness();
+    let single1 = sd_core::Query::new(Phi::True, ObjSet::singleton(a1).clone())
+        .beta(b)
+        .run_on(&sys)?
+        .into_witness();
+    let single2 = sd_core::Query::new(Phi::True, ObjSet::singleton(a2).clone())
+        .beta(b)
+        .run_on(&sys)?
+        .into_witness();
     println!(
         "{{α1,α2}} ▷ β: {}; α1 ▷ β: {}; α2 ▷ β: {} (Thm 2-1: at least one member transmits)",
         yes(set_dep.is_some()),
@@ -889,7 +997,6 @@ fn e19_mechanisms() -> Result<(), Box<dyn std::error::Error>> {
 /// table and emits `BENCH_pair_bfs.json` (workload parameters, wall
 /// times, visited-pair counts) for the committed record.
 fn p2_pair_bfs() -> Result<(), Box<dyn std::error::Error>> {
-    use sd_core::reach;
     use sd_core::{CompileBudget, Engine};
 
     println!("\n== P2: pair-BFS engines — interpreted vs compiled tables ==");
@@ -920,11 +1027,17 @@ fn p2_pair_bfs() -> Result<(), Box<dyn std::error::Error>> {
                     beta: sd_core::ObjId,
                     engine: Engine,
                     budget: &CompileBudget|
-     -> Result<(f64, reach::SearchStats, bool), sd_core::Error> {
+     -> Result<(f64, sd_core::SearchStats, bool), sd_core::Error> {
         let mut samples = Vec::new();
         let (stats, witness) = loop {
             let t = Instant::now();
-            let (w, s) = reach::depends_with_stats(sys, phi, a, beta, engine, budget)?;
+            let out = sd_core::Query::new(phi.clone(), a.clone())
+                .beta(beta)
+                .engine(engine)
+                .budget(*budget)
+                .run_on(sys)?;
+            let s = out.stats.expect("exact queries carry stats");
+            let w = out.into_witness();
             samples.push(t.elapsed().as_secs_f64() * 1e3);
             let done = samples.len() >= 5 || (samples.len() >= 2 && samples[0] > 200.0);
             if done {
@@ -999,7 +1112,7 @@ fn p2_pair_bfs() -> Result<(), Box<dyn std::error::Error>> {
 /// emits `BENCH_provers.json` for the committed record.
 fn p5_provers() -> Result<(), Box<dyn std::error::Error>> {
     use sd_core::cover::PieceStrategy;
-    use sd_core::{reach, solve, CompileBudget, Engine, StateSet};
+    use sd_core::{solve, CompileBudget, Engine, StateSet};
 
     println!("\n== P5: prover engines — sequential per-call vs shared Oracle ==");
     let budget = CompileBudget::default();
@@ -1063,7 +1176,12 @@ fn p5_provers() -> Result<(), Box<dyn std::error::Error>> {
                     cyl.insert(s.encode(u));
                 }
                 let phi_c = Phi::from_set(cyl.clone());
-                if reach::depends_with(&sys, &phi_c, &sources, sink, Engine::Auto, &budget)?
+                if sd_core::Query::new(phi_c.clone(), sources.clone())
+                    .beta(sink)
+                    .engine(Engine::Auto)
+                    .budget(budget)
+                    .run_on(&sys)?
+                    .into_witness()
                     .is_none()
                 {
                     sol.union_with(&cyl);
@@ -1172,7 +1290,13 @@ fn p5_provers() -> Result<(), Box<dyn std::error::Error>> {
                 }
                 for piece in &cover {
                     let conj = Phi::True.and(piece.clone());
-                    if reach::depends_with(&sys, &conj, &a, beta, Engine::Auto, &budget)?.is_some()
+                    if sd_core::Query::new(conj.clone(), a.clone())
+                        .beta(beta)
+                        .engine(Engine::Auto)
+                        .budget(budget)
+                        .run_on(&sys)?
+                        .into_witness()
+                        .is_some()
                     {
                         proved = false;
                         break 'seq;

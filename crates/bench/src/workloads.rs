@@ -277,17 +277,17 @@ mod tests {
         let u = sys.universe();
         let x0 = sd_core::ObjSet::singleton(u.obj("x0").unwrap());
         // Mixing carries x0's variety to every other mixer...
-        assert!(
-            sd_core::reach::depends(&sys, &sd_core::Phi::True, &x0, u.obj("x2").unwrap())
-                .unwrap()
-                .is_some()
-        );
+        assert!(sd_core::Query::new(sd_core::Phi::True, x0.clone())
+            .beta(u.obj("x2").unwrap())
+            .run_on(&sys)
+            .unwrap()
+            .holds());
         // ...but the isolated sink is untouched: an exhaustive "no".
-        assert!(
-            sd_core::reach::depends(&sys, &sd_core::Phi::True, &x0, u.obj("x4").unwrap())
-                .unwrap()
-                .is_none()
-        );
+        assert!(!sd_core::Query::new(sd_core::Phi::True, x0.clone())
+            .beta(u.obj("x4").unwrap())
+            .run_on(&sys)
+            .unwrap()
+            .holds());
     }
 
     #[test]
@@ -297,23 +297,22 @@ mod tests {
         let u = sys.universe();
         let first = u.obj("x0").unwrap();
         let last = u.obj("x3").unwrap();
-        assert!(sd_core::reach::depends(
-            &sys,
-            &sd_core::Phi::True,
-            &sd_core::ObjSet::singleton(first),
-            last
+        assert!(sd_core::Query::new(
+            sd_core::Phi::True,
+            sd_core::ObjSet::singleton(first).clone()
         )
+        .beta(last)
+        .run_on(&sys)
         .unwrap()
-        .is_some());
+        .holds());
         // No flow backwards.
-        assert!(sd_core::reach::depends(
-            &sys,
-            &sd_core::Phi::True,
-            &sd_core::ObjSet::singleton(last),
-            first
-        )
-        .unwrap()
-        .is_none());
+        assert!(
+            !sd_core::Query::new(sd_core::Phi::True, sd_core::ObjSet::singleton(last).clone())
+                .beta(first)
+                .run_on(&sys)
+                .unwrap()
+                .holds()
+        );
     }
 
     #[test]
@@ -323,18 +322,18 @@ mod tests {
         let u = sys.universe();
         let o0 = sd_core::ObjSet::singleton(u.obj("o0").unwrap());
         // o0's variety spreads through the backward chain...
-        assert!(
-            sd_core::reach::depends(&sys, &phi, &o0, u.obj("o2").unwrap())
-                .unwrap()
-                .is_some()
-        );
+        assert!(sd_core::Query::new(phi.clone(), o0.clone())
+            .beta(u.obj("o2").unwrap())
+            .run_on(&sys)
+            .unwrap()
+            .holds());
         // ...but the isolated tail only ever reads itself, so the
         // benchmark query is an exhaustive "no".
-        assert!(
-            sd_core::reach::depends(&sys, &phi, &o0, u.obj("o3").unwrap())
-                .unwrap()
-                .is_none()
-        );
+        assert!(!sd_core::Query::new(phi.clone(), o0.clone())
+            .beta(u.obj("o3").unwrap())
+            .run_on(&sys)
+            .unwrap()
+            .holds());
     }
 
     #[test]

@@ -444,7 +444,11 @@ mod tests {
             Phi::False,
             Phi::expr(Expr::var(a).eq(Expr::var(b))),
             Phi::expr(Expr::var(m).eq(Expr::int(0))),
-            Phi::expr(Expr::var(b).eq(Expr::int(0)).or(Expr::var(m).lt(Expr::var(a)))),
+            Phi::expr(
+                Expr::var(b)
+                    .eq(Expr::int(0))
+                    .or(Expr::var(m).lt(Expr::var(a))),
+            ),
             Phi::expr(
                 Expr::var(a)
                     .le(Expr::int(1))

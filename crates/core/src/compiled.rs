@@ -30,6 +30,7 @@ use crate::fastmap::U64Map;
 use crate::history::OpId;
 use crate::state::State;
 use crate::system::System;
+use crate::telemetry::{QueryEvent, Trace};
 use crate::universe::ObjId;
 
 /// Dense-table sentinel: "this operation errors on this state".
@@ -289,8 +290,10 @@ impl<'s> CompiledSystem<'s> {
 
     /// Materialises sparse successor rows for every code in `codes` that
     /// is not yet memoised, interpreting rows in parallel when there are
-    /// enough of them. A no-op for dense tables.
-    pub(crate) fn ensure_rows(&self, memo: &mut SparseMemo, codes: &[u64]) {
+    /// enough of them. A no-op for dense tables. Row reuse/materialise
+    /// counts are accumulated on `trace` (and emitted as a
+    /// [`QueryEvent::MemoRows`] event when a sink is attached).
+    pub(crate) fn ensure_rows(&self, memo: &mut SparseMemo, codes: &[u64], trace: &mut Trace<'_>) {
         if self.kind == TableKind::Dense || self.num_ops == 0 {
             return;
         }
@@ -299,6 +302,16 @@ impl<'s> CompiledSystem<'s> {
             .copied()
             .filter(|&c| memo.index.get(c).is_none())
             .collect();
+        let reused = (codes.len() - missing.len()) as u64;
+        let materialized = missing.len() as u64;
+        trace.counters.rows_reused += reused;
+        trace.counters.rows_materialized += materialized;
+        if !codes.is_empty() {
+            trace.emit(|| QueryEvent::MemoRows {
+                reused,
+                materialized,
+            });
+        }
         if missing.is_empty() {
             return;
         }
@@ -457,7 +470,7 @@ mod tests {
         let (dense, sparse) = compile_both(&sys);
         let mut memo = SparseMemo::default();
         let all: Vec<u64> = (0..ns).collect();
-        sparse.ensure_rows(&mut memo, &all);
+        sparse.ensure_rows(&mut memo, &all, &mut Trace::disabled());
         let empty = SparseMemo::default();
         for code in 0..ns {
             let sigma = State::decode(u, code);

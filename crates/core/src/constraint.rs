@@ -18,6 +18,9 @@ use crate::system::System;
 /// A set of states, represented as a bit set over global state indices.
 pub type StateSet = BitSet;
 
+/// A native predicate body: shared, thread-safe `fn(system, state) -> bool`.
+pub type NativePred = Arc<dyn Fn(&System, &State) -> Result<bool> + Send + Sync>;
+
 /// A constraint on states: the φ of the paper.
 #[derive(Clone)]
 pub enum Phi {
@@ -32,7 +35,7 @@ pub enum Phi {
         /// Display name used in certificates and debugging output.
         name: String,
         /// The predicate body.
-        f: Arc<dyn Fn(&System, &State) -> Result<bool> + Send + Sync>,
+        f: NativePred,
     },
     /// An extensional constraint: exactly the states in the set.
     Set(StateSet),

@@ -300,12 +300,20 @@ pub fn check_theorem_4_5(
         // Vacuously true: the theorem's premise fails.
         return Ok(true);
     }
-    if crate::reach::depends(sys, phi, a, beta)?.is_none() {
+    if !crate::query::Query::new(phi.clone(), a.clone())
+        .beta(beta)
+        .run_on(sys)?
+        .holds()
+    {
         return Ok(true);
     }
     for piece in cover {
         let conj = phi.clone().and(piece.clone());
-        if crate::reach::depends(sys, &conj, a, beta)?.is_some() {
+        if crate::query::Query::new(conj, a.clone())
+            .beta(beta)
+            .run_on(sys)?
+            .holds()
+        {
             return Ok(true);
         }
     }
@@ -318,6 +326,20 @@ mod tests {
     use crate::expr::Expr;
     use crate::op::{Cmd, Op};
     use crate::universe::{Domain, Universe};
+
+    /// Exact `A ▷φ β` verdict through the Query builder.
+    fn exact_depends(
+        sys: &System,
+        phi: &Phi,
+        a: &ObjSet,
+        beta: crate::universe::ObjId,
+    ) -> Option<crate::reach::DependsWitness> {
+        crate::query::Query::new(phi.clone(), a.clone())
+            .beta(beta)
+            .run_on(sys)
+            .unwrap()
+            .into_witness()
+    }
 
     /// The §4.4/§4.6 non-transitive system:
     /// δ1: if q then m ← α; δ2: if ¬q then β ← m.
@@ -362,9 +384,7 @@ mod tests {
                 .unwrap();
         assert!(out.is_proved(), "{:?}", out.reason());
         // Exact oracle agrees.
-        assert!(crate::reach::depends(&sys, &Phi::True, &src, b)
-            .unwrap()
-            .is_none());
+        assert!(exact_depends(&sys, &Phi::True, &src, b).is_none());
     }
 
     #[test]
@@ -397,9 +417,7 @@ mod tests {
         // The m = ff piece on its own does block the flow (paper's point:
         // one piece blocks, the other does not).
         let phi2 = Phi::expr(Expr::var(m).not());
-        assert!(crate::reach::depends(&sys, &phi2, &src, b)
-            .unwrap()
-            .is_none());
+        assert!(exact_depends(&sys, &phi2, &src, b).is_none());
     }
 
     #[test]
@@ -471,9 +489,7 @@ mod tests {
         assert!(is_inductive_cover_one_step(&sys, &phi, &cover).unwrap());
         let out = prove_inductive_cover(&sys, &phi, &cover, &ObjSet::singleton(a), b).unwrap();
         assert!(out.is_proved(), "{:?}", out.reason());
-        assert!(crate::reach::depends(&sys, &phi, &ObjSet::singleton(a), b)
-            .unwrap()
-            .is_none());
+        assert!(exact_depends(&sys, &phi, &ObjSet::singleton(a), b).is_none());
 
         // The paper's "retreat to invariance" fails: the most restrictive
         // invariant φ* ⊇ φ is α = ±37, and under it the flow exists.
@@ -483,11 +499,7 @@ mod tests {
                 .or(Expr::var(a).eq(Expr::int(-37))),
         );
         assert!(crate::classify::is_invariant(&sys, &phi_star).unwrap());
-        assert!(
-            crate::reach::depends(&sys, &phi_star, &ObjSet::singleton(a), b)
-                .unwrap()
-                .is_some()
-        );
+        assert!(exact_depends(&sys, &phi_star, &ObjSet::singleton(a), b).is_some());
     }
 
     #[test]

@@ -114,6 +114,7 @@ impl Expr {
     }
 
     /// Integer negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Expr {
         Expr::Neg(Box::new(self))
     }
@@ -169,11 +170,13 @@ impl Expr {
     }
 
     /// `self + rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Expr) -> Expr {
         Expr::bin(BinOp::Add, self, rhs)
     }
 
     /// `self - rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Expr) -> Expr {
         Expr::bin(BinOp::Sub, self, rhs)
     }

@@ -769,6 +769,20 @@ mod tests {
     use crate::op::{Cmd, Op};
     use crate::universe::{Domain, Universe};
 
+    /// Exact `A ▷φ β` verdict through the Query builder.
+    fn exact_depends(
+        sys: &System,
+        phi: &Phi,
+        a: &ObjSet,
+        beta: crate::universe::ObjId,
+    ) -> Option<crate::reach::DependsWitness> {
+        crate::query::Query::new(phi.clone(), a.clone())
+            .beta(beta)
+            .run_on(sys)
+            .unwrap()
+            .into_witness()
+    }
+
     /// δ: if m then β ← α, from §3.2.
     fn guarded_copy() -> System {
         let u = Universe::new(vec![
@@ -803,9 +817,7 @@ mod tests {
         let cert = out.certificate().expect("should prove");
         assert!(cert.facts.contains(&Fact::Autonomous));
         // Cross-check against the exact oracle.
-        assert!(crate::reach::depends(&sys, &phi, &ObjSet::singleton(a), b)
-            .unwrap()
-            .is_none());
+        assert!(exact_depends(&sys, &phi, &ObjSet::singleton(a), b).is_none());
     }
 
     #[test]
@@ -817,11 +829,7 @@ mod tests {
         let out = prove_cor_4_2(&sys, &Phi::True, a, b).unwrap();
         assert!(!out.is_proved());
         // And indeed the flow exists.
-        assert!(
-            crate::reach::depends(&sys, &Phi::True, &ObjSet::singleton(a), b)
-                .unwrap()
-                .is_some()
-        );
+        assert!(exact_depends(&sys, &Phi::True, &ObjSet::singleton(a), b).is_some());
     }
 
     #[test]
@@ -872,9 +880,7 @@ mod tests {
         // …but {β} is genuinely isolated as a source: nothing reads β.
         let out2 = prove_cor_5_6(&sys, &phi, &ObjSet::singleton(b), m1).unwrap();
         assert!(out2.is_proved(), "{:?}", out2.reason());
-        assert!(crate::reach::depends(&sys, &phi, &ObjSet::singleton(b), m1)
-            .unwrap()
-            .is_none());
+        assert!(exact_depends(&sys, &phi, &ObjSet::singleton(b), m1).is_none());
     }
 
     #[test]
@@ -940,9 +946,7 @@ mod tests {
         assert!(!classify::is_invariant(&sys, &phi).unwrap());
         let out = prove_cor_6_5(&sys, &phi, &ObjSet::singleton(a), b).unwrap();
         assert!(out.is_proved(), "{:?}", out.reason());
-        assert!(crate::reach::depends(&sys, &phi, &ObjSet::singleton(a), b)
-            .unwrap()
-            .is_none());
+        assert!(exact_depends(&sys, &phi, &ObjSet::singleton(a), b).is_none());
         // Cor 5-6 is inapplicable here (φ not invariant).
         let weak = prove_cor_5_6(&sys, &phi, &ObjSet::singleton(a), b).unwrap();
         assert!(!weak.is_proved());
@@ -985,7 +989,10 @@ mod tests {
         ];
         for (s, f) in shared.iter().zip(&free) {
             assert_eq!(s.is_proved(), f.is_proved());
-            assert_eq!(s.certificate().map(|c| &c.facts), f.certificate().map(|c| &c.facts));
+            assert_eq!(
+                s.certificate().map(|c| &c.facts),
+                f.certificate().map(|c| &c.facts)
+            );
         }
         assert_eq!(oracle.stats().compiles, 1);
     }

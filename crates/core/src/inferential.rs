@@ -125,7 +125,10 @@ pub fn directly_depends(
     beta: ObjId,
 ) -> Result<Option<crate::reach::DependsWitness>> {
     let hull = autonomous_hull(sys, phi)?;
-    crate::reach::depends(sys, &hull, a, beta)
+    Ok(crate::query::Query::new(hull, a.clone())
+        .beta(beta)
+        .run_on(sys)?
+        .into_witness())
 }
 
 /// The per-observation posterior sets themselves, for analysis tooling:

@@ -12,7 +12,9 @@
 //! - exact decision procedures for strong dependency `A ▷φ β`, both per
 //!   history (Defs 2-3…2-11, 5-5…5-7) and over *all* histories via pair
 //!   reachability ([`depend`], [`reach`]), with a compiled transition-table
-//!   engine for the pair search ([`compiled`]);
+//!   engine for the pair search ([`compiled`]), a unified [`query`]
+//!   builder over compile-once [`oracle`] sessions, and pluggable query
+//!   observability ([`telemetry`]);
 //! - the paper's proof techniques as certificate-producing provers:
 //!   Strong Dependency Induction, Separation of Variety and inductive
 //!   covers ([`induction`], [`cover`], [`certificate`]);
@@ -46,10 +48,12 @@ pub mod observe;
 pub mod op;
 pub mod oracle;
 pub mod problem;
+pub mod query;
 pub mod reach;
 pub mod solve;
 pub mod state;
 pub mod system;
+pub mod telemetry;
 pub mod universe;
 pub mod value;
 pub mod worth;
@@ -61,7 +65,10 @@ pub use crate::expr::{BinOp, Expr};
 pub use crate::history::{History, OpId};
 pub use crate::op::{Cmd, LValue, Op};
 pub use crate::oracle::{Oracle, OracleStats};
+pub use crate::query::{Query, QueryAnswer, QueryOutcome};
+pub use crate::reach::{DependsWitness, SearchStats};
 pub use crate::state::State;
 pub use crate::system::System;
+pub use crate::telemetry::{JsonLinesSink, NullSink, QueryEvent, QueryReport, RecordingSink, Sink};
 pub use crate::universe::{Domain, ObjId, ObjSet, Universe};
 pub use crate::value::{Rights, Value};

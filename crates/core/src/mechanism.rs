@@ -25,6 +25,10 @@ use crate::state::State;
 use crate::system::System;
 use crate::universe::{ObjId, ObjSet};
 
+/// A projection from augmented states onto base states, shared and
+/// thread-safe: `fn(augmented_sys, base_sys, augmented_state) -> base_state`.
+pub type Projection = Arc<dyn Fn(&System, &System, &State) -> Result<State> + Send + Sync>;
+
 /// A mechanism: an augmented system, its base, and the implementation
 /// mapping between them.
 #[derive(Clone)]
@@ -35,7 +39,7 @@ pub struct Mechanism {
     pub base: System,
     /// Projects an augmented state onto a base state (forgetting
     /// mechanism-internal objects, renaming, …).
-    pub project: Arc<dyn Fn(&System, &System, &State) -> Result<State> + Send + Sync>,
+    pub project: Projection,
     /// For each augmented operation, the base history realizing it.
     pub realize: Vec<History>,
     /// Base-visible objects paired with their augmented counterparts:
@@ -82,7 +86,10 @@ impl Mechanism {
 fn visible_paths(sys: &System, phi: &Phi, objs: &[ObjId]) -> Result<Vec<(usize, usize)>> {
     let mut out = Vec::new();
     for (i, &alpha) in objs.iter().enumerate() {
-        let sinks = crate::reach::sinks(sys, phi, &ObjSet::singleton(alpha))?;
+        let sinks = crate::query::Query::new(phi.clone(), ObjSet::singleton(alpha))
+            .run_on(sys)?
+            .into_sinks()
+            .expect("a sinks query returns a sink set");
         for (j, &beta) in objs.iter().enumerate() {
             if i != j && sinks.contains(beta) {
                 out.push((i, j));

@@ -134,7 +134,10 @@ pub fn depends_observed(
         // prefix of H, and prefixes are themselves histories — so the two
         // observers induce the same dependency relation.
         Observer::KnownHistory | Observer::Trace => {
-            Ok(crate::reach::depends(sys, phi, a, beta)?.is_some())
+            Ok(crate::query::Query::new(phi.clone(), a.clone())
+                .beta(beta)
+                .run_on(sys)?
+                .holds())
         }
         Observer::TimeOnly => Ok(depends_time_only(sys, phi, a, beta)?.is_some()),
     }

@@ -223,13 +223,16 @@ impl fmt::Display for CmdDisplay<'_> {
     }
 }
 
+/// A native operation body: shared, thread-safe state transformer.
+pub type NativeOp = Arc<dyn Fn(&Universe, &State) -> Result<State> + Send + Sync>;
+
 /// The implementation of an operation.
 #[derive(Clone)]
 pub enum OpBody {
     /// A command in the operation language.
     Cmd(Cmd),
     /// A native Rust state transformer.
-    Native(Arc<dyn Fn(&Universe, &State) -> Result<State> + Send + Sync>),
+    Native(NativeOp),
 }
 
 impl fmt::Debug for OpBody {

@@ -47,6 +47,7 @@ use crate::reach::{
     self, compiled_search, interpreted_search, DependsWitness, SearchBuffers, SearchStats,
 };
 use crate::system::System;
+use crate::telemetry::{QueryEvent, Sink, Trace, TraceCounters};
 use crate::universe::{ObjId, ObjSet};
 
 /// Counters describing the work an [`Oracle`] has performed.
@@ -95,6 +96,10 @@ pub struct Oracle<'s> {
     pool: Mutex<Vec<SearchBuffers>>,
     /// Shared sparse-row cache for op-kernel sweeps.
     rows: Mutex<SparseMemo>,
+    /// Telemetry sink, attached at construction so compile events are
+    /// observable. `None` ⇒ uninstrumented (one branch per emission
+    /// site, no event construction).
+    sink: Option<Arc<dyn Sink>>,
     compiles: u64,
     searches: AtomicU64,
 }
@@ -111,21 +116,50 @@ impl<'s> Oracle<'s> {
         engine: Engine,
         budget: &CompileBudget,
     ) -> Result<Oracle<'s>> {
-        Oracle::build(sys, engine, budget, None)
+        Oracle::build(sys, engine, budget, None, None)
+    }
+
+    /// An instrumented Oracle: every compile, partition lookup and
+    /// search reports [`QueryEvent`]s to `sink`. The sink must be
+    /// attached at construction because compilation happens here.
+    pub fn with_sink(
+        sys: &'s System,
+        engine: Engine,
+        budget: &CompileBudget,
+        sink: Arc<dyn Sink>,
+    ) -> Result<Oracle<'s>> {
+        Oracle::build(sys, engine, budget, None, Some(sink))
     }
 
     /// An Oracle tuned for queries under one constraint: Sat(φ) is
     /// enumerated up front (and interned), and [`Engine::Auto`] refines
     /// on its thinness exactly like the one-shot search paths. This is
-    /// what [`crate::reach`]'s free functions construct per call.
+    /// what one-shot [`crate::query::Query::run_on`] runs construct per
+    /// call.
     pub fn for_phi(
         sys: &'s System,
         phi: &Phi,
         engine: Engine,
         budget: &CompileBudget,
     ) -> Result<Oracle<'s>> {
+        Oracle::for_phi_sink(sys, phi, engine, budget, None)
+    }
+
+    /// [`Oracle::for_phi`] with a telemetry sink attached.
+    pub(crate) fn for_phi_sink(
+        sys: &'s System,
+        phi: &Phi,
+        engine: Engine,
+        budget: &CompileBudget,
+        sink: Option<Arc<dyn Sink>>,
+    ) -> Result<Oracle<'s>> {
         let codes = Arc::new(depend::sat_codes(sys, phi)?);
-        let oracle = Oracle::build(sys, engine, budget, Some(codes.len() as u64))?;
+        if let Some(s) = &sink {
+            s.record(&QueryEvent::PartitionMiss {
+                states: codes.len() as u64,
+            });
+        }
+        let oracle = Oracle::build(sys, engine, budget, Some(codes.len() as u64), sink)?;
         oracle
             .sat_cache
             .lock()
@@ -139,6 +173,7 @@ impl<'s> Oracle<'s> {
         engine: Engine,
         budget: &CompileBudget,
         sat_hint: Option<u64>,
+        sink: Option<Arc<dyn Sink>>,
     ) -> Result<Oracle<'s>> {
         let ns = sys.state_count()?;
         let compiled = if reach::wants_interpreter(engine, ns) {
@@ -149,7 +184,24 @@ impl<'s> Oracle<'s> {
             )));
         } else {
             let engine = reach::refine_auto(engine, sat_hint.unwrap_or(ns), ns);
-            Some(CompiledSystem::compile(sys, engine, budget)?)
+            if let Some(s) = &sink {
+                s.record(&QueryEvent::CompileStart {
+                    states: ns,
+                    ops: sys.num_ops() as u64,
+                });
+            }
+            let start = std::time::Instant::now();
+            let cs = CompiledSystem::compile(sys, engine, budget)?;
+            if let Some(s) = &sink {
+                s.record(&QueryEvent::CompileFinish {
+                    kind: match cs.kind() {
+                        TableKind::Dense => "compiled-dense",
+                        TableKind::Sparse => "compiled-sparse",
+                    },
+                    wall_ns: start.elapsed().as_nanos() as u64,
+                });
+            }
+            Some(cs)
         };
         let compiles = u64::from(compiled.is_some());
         Ok(Oracle {
@@ -160,6 +212,7 @@ impl<'s> Oracle<'s> {
             sat_cache: Mutex::new(Vec::new()),
             pool: Mutex::new(Vec::new()),
             rows: Mutex::new(SparseMemo::default()),
+            sink,
             compiles,
             searches: AtomicU64::new(0),
         })
@@ -179,18 +232,65 @@ impl<'s> Oracle<'s> {
         }
     }
 
+    /// The telemetry sink attached at construction, if any.
+    pub(crate) fn sink_ref(&self) -> Option<&dyn Sink> {
+        self.sink.as_deref()
+    }
+
+    /// Whether `Sat(φ)` for this φ is already interned (i.e. a query on
+    /// it would hit the partition cache).
+    pub fn phi_interned(&self, phi: &Phi) -> bool {
+        self.sat_cache
+            .lock()
+            .expect("sat cache lock")
+            .iter()
+            .any(|(p, _)| p.cache_eq(phi))
+    }
+
+    /// The engine label searches through this Oracle report.
+    pub(crate) fn engine_name(&self) -> &'static str {
+        match &self.compiled {
+            None => "interpreted",
+            Some(cs) => match cs.kind() {
+                TableKind::Dense => "compiled-dense",
+                TableKind::Sparse => "compiled-sparse",
+            },
+        }
+    }
+
+    /// Table layout of the compiled system, `None` when interpreted.
+    pub(crate) fn table_kind(&self) -> Option<TableKind> {
+        self.compiled.as_ref().map(|cs| cs.kind())
+    }
+
     /// The interned `Sat(φ)` enumeration (ascending state codes),
     /// computing and caching it on first use.
     pub fn sat_codes(&self, phi: &Phi) -> Result<Arc<Vec<u64>>> {
+        self.sat_codes_at(phi, self.sink_ref())
+    }
+
+    /// [`Oracle::sat_codes`] reporting hit/miss events to an explicit
+    /// sink (a per-query sink overriding the Oracle's own).
+    pub(crate) fn sat_codes_at(&self, phi: &Phi, sink: Option<&dyn Sink>) -> Result<Arc<Vec<u64>>> {
         {
             let cache = self.sat_cache.lock().expect("sat cache lock");
             if let Some((_, codes)) = cache.iter().find(|(p, _)| p.cache_eq(phi)) {
+                if let Some(s) = sink {
+                    s.record(&QueryEvent::PartitionHit {
+                        states: codes.len() as u64,
+                    });
+                }
                 return Ok(Arc::clone(codes));
             }
         }
         // Enumerate outside the lock; on a race the first entry wins so
         // every caller shares one allocation.
         let codes = Arc::new(depend::sat_codes(self.sys, phi)?);
+        if let Some(s) = sink {
+            s.record(&QueryEvent::PartitionMiss {
+                states: codes.len() as u64,
+            });
+        }
         let mut cache = self.sat_cache.lock().expect("sat cache lock");
         if let Some((_, existing)) = cache.iter().find(|(p, _)| p.cache_eq(phi)) {
             return Ok(Arc::clone(existing));
@@ -202,7 +302,17 @@ impl<'s> Oracle<'s> {
     /// `Sat(φ)` partitioned into `=A=` classes, from the interned
     /// enumeration.
     pub fn partition(&self, phi: &Phi, a: &ObjSet) -> Result<SatPartition> {
-        let codes = self.sat_codes(phi)?;
+        self.partition_at(phi, a, self.sink_ref())
+    }
+
+    /// [`Oracle::partition`] reporting cache events to an explicit sink.
+    pub(crate) fn partition_at(
+        &self,
+        phi: &Phi,
+        a: &ObjSet,
+        sink: Option<&dyn Sink>,
+    ) -> Result<SatPartition> {
+        let codes = self.sat_codes_at(phi, sink)?;
         Ok(SatPartition::from_codes(self.sys.universe(), &codes, a))
     }
 
@@ -213,9 +323,22 @@ impl<'s> Oracle<'s> {
         part: &SatPartition,
         found: impl FnMut(u64, u64) -> bool,
     ) -> Result<(Option<DependsWitness>, SearchStats)> {
+        let (witness, stats, _) = self.search_partition_at(part, self.sink_ref(), found)?;
+        Ok((witness, stats))
+    }
+
+    /// [`Oracle::search_partition`] with an explicit sink and the
+    /// search's hot-path counters returned for query reports.
+    pub(crate) fn search_partition_at(
+        &self,
+        part: &SatPartition,
+        sink: Option<&dyn Sink>,
+        found: impl FnMut(u64, u64) -> bool,
+    ) -> Result<(Option<DependsWitness>, SearchStats, TraceCounters)> {
         self.searches.fetch_add(1, Ordering::Relaxed);
-        match &self.compiled {
-            None => interpreted_search(self.sys, part, found),
+        let mut trace = Trace::new(sink);
+        let (witness, stats) = match &self.compiled {
+            None => interpreted_search(self.sys, part, &mut trace, found)?,
             Some(cs) => {
                 let mut bufs = self
                     .pool
@@ -223,11 +346,12 @@ impl<'s> Oracle<'s> {
                     .expect("buffer pool lock")
                     .pop()
                     .unwrap_or_else(|| SearchBuffers::new(self.ns, &self.budget));
-                let out = compiled_search(cs, part, &mut bufs, found);
+                let out = compiled_search(cs, part, &mut bufs, &mut trace, found);
                 self.pool.lock().expect("buffer pool lock").push(bufs);
-                out
+                out?
             }
-        }
+        };
+        Ok((witness, stats, trace.counters))
     }
 
     /// Decides `A ▷φ β` through this Oracle (see [`crate::reach::depends`]).
@@ -253,20 +377,26 @@ impl<'s> Oracle<'s> {
         part: &SatPartition,
         beta: ObjId,
     ) -> Result<(Option<DependsWitness>, SearchStats)> {
+        let (witness, stats, _) = self.depends_partition_at(part, beta, self.sink_ref())?;
+        Ok((witness, stats))
+    }
+
+    /// [`Oracle::depends_partition`] with an explicit sink and counters.
+    pub(crate) fn depends_partition_at(
+        &self,
+        part: &SatPartition,
+        beta: ObjId,
+        sink: Option<&dyn Sink>,
+    ) -> Result<(Option<DependsWitness>, SearchStats, TraceCounters)> {
         let (stride, dom) = reach::extractor(self.sys.universe(), beta);
-        self.search_partition(part, move |c1, c2| {
+        self.search_partition_at(part, sink, move |c1, c2| {
             (c1 / stride) % dom != (c2 / stride) % dom
         })
     }
 
     /// Decides the set-target relation `A ▷φ B` (see
     /// [`crate::reach::depends_set`]).
-    pub fn depends_set(
-        &self,
-        phi: &Phi,
-        a: &ObjSet,
-        b: &ObjSet,
-    ) -> Result<Option<DependsWitness>> {
+    pub fn depends_set(&self, phi: &Phi, a: &ObjSet, b: &ObjSet) -> Result<Option<DependsWitness>> {
         if b.is_empty() {
             return Ok(None);
         }
@@ -289,6 +419,17 @@ impl<'s> Oracle<'s> {
 
     /// [`Oracle::sinks`] over an explicit partition.
     pub(crate) fn sinks_partition(&self, part: &SatPartition) -> Result<ObjSet> {
+        let (out, _, _) = self.sinks_partition_at(part, self.sink_ref())?;
+        Ok(out)
+    }
+
+    /// [`Oracle::sinks_partition`] with an explicit sink, also returning
+    /// the search diagnostics and counters.
+    pub(crate) fn sinks_partition_at(
+        &self,
+        part: &SatPartition,
+        sink: Option<&dyn Sink>,
+    ) -> Result<(ObjSet, SearchStats, TraceCounters)> {
         let u = self.sys.universe();
         let extractors: Vec<(ObjId, u64, u64)> = u
             .objects()
@@ -300,7 +441,7 @@ impl<'s> Oracle<'s> {
         let total = extractors.len();
         let mut out = ObjSet::empty();
         let mut count = 0usize;
-        self.search_partition(part, |c1, c2| {
+        let (_, stats, counters) = self.search_partition_at(part, sink, |c1, c2| {
             for &(obj, stride, dom) in &extractors {
                 if !out.contains(obj) && (c1 / stride) % dom != (c2 / stride) % dom {
                     out.insert(obj);
@@ -309,25 +450,52 @@ impl<'s> Oracle<'s> {
             }
             count == total
         })?;
-        Ok(out)
+        Ok((out, stats, counters))
     }
 
     /// One [`Oracle::sinks`] row per source set, sharing the interned
     /// Sat(φ) enumeration; rows run in parallel on scoped threads, each
     /// borrowing buffers from the pool.
     pub fn sinks_matrix(&self, phi: &Phi, sources: &[ObjSet]) -> Result<Vec<ObjSet>> {
-        if sources.is_empty() {
-            return Ok(Vec::new());
-        }
-        let codes = self.sat_codes(phi)?;
-        let u = self.sys.universe();
-        let row = |src: &ObjSet| -> Result<ObjSet> {
-            let part = SatPartition::from_codes(u, &codes, src);
-            self.sinks_partition(&part)
+        let (rows, _, _) = self.sinks_matrix_at(phi, sources, self.sink_ref())?;
+        Ok(rows)
+    }
+
+    /// [`Oracle::sinks_matrix`] with an explicit sink, aggregating the
+    /// per-row diagnostics (summed pairs/counters, max depth) for the
+    /// query report.
+    pub(crate) fn sinks_matrix_at(
+        &self,
+        phi: &Phi,
+        sources: &[ObjSet],
+        sink: Option<&dyn Sink>,
+    ) -> Result<(Vec<ObjSet>, SearchStats, TraceCounters)> {
+        let mut agg = SearchStats {
+            engine: self.engine_name(),
+            visited_pairs: 0,
+            levels: 0,
         };
-        let chunked: Vec<Vec<Result<ObjSet>>> =
+        let mut totals = TraceCounters::default();
+        if sources.is_empty() {
+            return Ok((Vec::new(), agg, totals));
+        }
+        let codes = self.sat_codes_at(phi, sink)?;
+        let u = self.sys.universe();
+        let row = |src: &ObjSet| -> Result<(ObjSet, SearchStats, TraceCounters)> {
+            let part = SatPartition::from_codes(u, &codes, src);
+            self.sinks_partition_at(&part, sink)
+        };
+        let chunked: Vec<Vec<Result<(ObjSet, SearchStats, TraceCounters)>>> =
             par_map_chunks(sources, 1, |chunk| chunk.iter().map(&row).collect());
-        chunked.into_iter().flatten().collect()
+        let mut rows = Vec::with_capacity(sources.len());
+        for res in chunked.into_iter().flatten() {
+            let (set, stats, counters) = res?;
+            agg.visited_pairs += stats.visited_pairs;
+            agg.levels = agg.levels.max(stats.levels);
+            totals.absorb(counters);
+            rows.push(set);
+        }
+        Ok((rows, agg, totals))
     }
 
     /// Bounded-history variant of [`Oracle::depends`] (see
@@ -365,7 +533,8 @@ impl<'s> Oracle<'s> {
         let cs = self.compiled.as_ref()?;
         let mut memo = std::mem::take(&mut *self.rows.lock().expect("row cache lock"));
         if cs.kind() == TableKind::Sparse {
-            cs.ensure_rows(&mut memo, codes);
+            let mut trace = Trace::new(self.sink_ref());
+            cs.ensure_rows(&mut memo, codes, &mut trace);
         }
         let out = f(cs, &memo);
         // Concurrent callers may have raced the take; keeping the most
@@ -389,9 +558,15 @@ mod tests {
         for a in &sources {
             for beta in u.objects() {
                 let via_oracle = oracle.depends(&Phi::True, a, beta).unwrap();
-                let direct = reach::depends(&sys, &Phi::True, a, beta).unwrap();
+                let direct = crate::query::Query::new(Phi::True, a.clone())
+                    .beta(beta)
+                    .run_on(&sys)
+                    .unwrap()
+                    .into_witness();
                 assert_eq!(
-                    via_oracle.as_ref().map(|w| (&w.history, &w.sigma1, &w.sigma2)),
+                    via_oracle
+                        .as_ref()
+                        .map(|w| (&w.history, &w.sigma1, &w.sigma2)),
                     direct.as_ref().map(|w| (&w.history, &w.sigma1, &w.sigma2)),
                 );
             }

@@ -123,7 +123,10 @@ impl Problem {
                 if *require_independent && !crate::classify::is_independent(sys, phi, sources)? {
                     return Ok(false);
                 }
-                Ok(crate::reach::depends(sys, phi, sources, *sink)?.is_none())
+                Ok(!crate::query::Query::new(phi.clone(), sources.clone())
+                    .beta(*sink)
+                    .run_on(sys)?
+                    .holds())
             }
             ProblemKind::AllowedPaths { q } => {
                 let objects: Vec<ObjId> = sys.universe().objects().collect();
@@ -145,7 +148,11 @@ impl Problem {
         let mut out = Vec::new();
         match &self.kind {
             ProblemKind::NoFlow { sources, sink, .. } => {
-                if crate::reach::depends(sys, phi, sources, *sink)?.is_some() {
+                if crate::query::Query::new(phi.clone(), sources.clone())
+                    .beta(*sink)
+                    .run_on(sys)?
+                    .holds()
+                {
                     for alpha in sources.iter() {
                         out.push((alpha, *sink));
                     }

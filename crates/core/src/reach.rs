@@ -27,12 +27,17 @@
 //! same [`SearchStats`] counts, and the same first error on invalid
 //! systems.
 //!
-//! The same search underlies [`sinks`] (all β reachable from a source set,
-//! i.e. one row of the §3.6 worth measure); [`sinks_matrix`] batches many
-//! rows over a single compiled system. All public entry points route
-//! through a short-lived [`crate::oracle::Oracle`]; hold an `Oracle`
-//! yourself to amortise the compile and Sat(φ) enumeration across many
-//! queries.
+//! The same search underlies sink queries (all β reachable from a source
+//! set, i.e. one row of the §3.6 worth measure) and batched matrix sweeps
+//! over a single compiled system. The public entry point is the
+//! [`crate::query::Query`] builder — one-shot runs
+//! ([`crate::query::Query::run_on`]) construct a short-lived
+//! [`crate::oracle::Oracle`] per call; hold an `Oracle` yourself and use
+//! [`crate::query::Query::run`] to amortise the compile and Sat(φ)
+//! enumeration across many queries. The free functions in this module
+//! ([`depends`], [`sinks`], …) are deprecated thin wrappers over the
+//! builder. Both engines report [`QueryEvent`]s (BFS levels, memo-row
+//! reuse, witnesses) to an attached [`crate::telemetry::Sink`].
 
 use std::collections::{HashMap, VecDeque};
 
@@ -45,8 +50,10 @@ use crate::depend::SatPartition;
 use crate::error::{Error, Result};
 use crate::fastmap::U64Set;
 use crate::history::{History, OpId};
+use crate::query::Query;
 use crate::state::State;
 use crate::system::System;
+use crate::telemetry::{QueryEvent, Trace};
 use crate::universe::{ObjId, ObjSet, Universe};
 
 /// A witness that `A ▷φ β`: the history and initial state pair.
@@ -106,6 +113,14 @@ fn initial_pairs(part: &SatPartition) -> Vec<Pair> {
     out
 }
 
+/// Bumps the pair count for one BFS depth (instrumented searches only).
+fn bump_depth(counts: &mut Vec<u64>, depth: usize) {
+    if counts.len() <= depth {
+        counts.resize(depth + 1, 0);
+    }
+    counts[depth] += 1;
+}
+
 /// Interpreted reference BFS over the pair graph. Calls `found` on every
 /// pair as it is *discovered* (roots in ascending order, then candidates
 /// in frontier × operation order — the same order the compiled merge
@@ -114,9 +129,17 @@ fn initial_pairs(part: &SatPartition) -> Vec<Pair> {
 pub(crate) fn interpreted_search(
     sys: &System,
     part: &SatPartition,
+    trace: &mut Trace<'_>,
     mut found: impl FnMut(u64, u64) -> bool,
 ) -> Result<(Option<DependsWitness>, SearchStats)> {
     let u = sys.universe();
+    let num_ops = sys.num_ops() as u64;
+    let tracing = trace.sink.is_some();
+    // Pairs discovered per depth, maintained only when a sink is
+    // attached: all of depth d is discovered before the first depth-d
+    // pair is dequeued, so the count is the level's frontier size.
+    let mut depth_counts: Vec<u64> = Vec::new();
+    let mut last_level: i64 = -1;
     // parent: pair -> (predecessor pair, op applied). Roots map to None.
     let mut parent: HashMap<Pair, Option<(Pair, OpId)>> = HashMap::new();
     let mut queue: VecDeque<(Pair, u32)> = VecDeque::new();
@@ -146,6 +169,9 @@ pub(crate) fn interpreted_search(
     for p in initial_pairs(part) {
         if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(p) {
             e.insert(None);
+            if tracing {
+                bump_depth(&mut depth_counts, 0);
+            }
             if found(p.0, p.1) {
                 let w = witness(&parent, p);
                 let stats = SearchStats {
@@ -153,12 +179,22 @@ pub(crate) fn interpreted_search(
                     visited_pairs: parent.len() as u64,
                     levels,
                 };
+                trace.emit(|| QueryEvent::Witness { length: levels });
                 return Ok((Some(w), stats));
             }
             queue.push_back((p, 0));
         }
     }
     while let Some((pair, depth)) = queue.pop_front() {
+        if tracing && i64::from(depth) > last_level {
+            last_level = i64::from(depth);
+            trace.emit(|| QueryEvent::BfsLevel {
+                level: depth,
+                frontier: depth_counts[depth as usize],
+                visited: parent.len() as u64,
+            });
+        }
+        trace.counters.expansions += num_ops;
         let s1 = State::decode(u, pair.0);
         let s2 = State::decode(u, pair.1);
         for op in sys.op_ids() {
@@ -174,6 +210,9 @@ pub(crate) fn interpreted_search(
             if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(next) {
                 e.insert(Some((pair, op)));
                 levels = levels.max(depth + 1);
+                if tracing {
+                    bump_depth(&mut depth_counts, depth as usize + 1);
+                }
                 if found(next.0, next.1) {
                     let w = witness(&parent, next);
                     let stats = SearchStats {
@@ -181,6 +220,7 @@ pub(crate) fn interpreted_search(
                         visited_pairs: parent.len() as u64,
                         levels,
                     };
+                    trace.emit(|| QueryEvent::Witness { length: levels });
                     return Ok((Some(w), stats));
                 }
                 queue.push_back((next, depth + 1));
@@ -316,6 +356,7 @@ pub(crate) fn compiled_search(
     cs: &CompiledSystem<'_>,
     part: &SatPartition,
     bufs: &mut SearchBuffers,
+    trace: &mut Trace<'_>,
     mut found: impl FnMut(u64, u64) -> bool,
 ) -> Result<(Option<DependsWitness>, SearchStats)> {
     let u = cs.system().universe();
@@ -355,6 +396,7 @@ pub(crate) fn compiled_search(
                 visited_pairs: nodes.len() as u64,
                 levels: 0,
             };
+            trace.emit(|| QueryEvent::Witness { length: 0 });
             return Ok((Some(reconstruct_compiled(u, nodes, idx, ns)), stats));
         }
     }
@@ -364,6 +406,12 @@ pub(crate) fn compiled_search(
     let mut levels = 0u32;
     while lo < nodes.len() {
         let hi = nodes.len();
+        trace.emit(|| QueryEvent::BfsLevel {
+            level: depth,
+            frontier: (hi - lo) as u64,
+            visited: hi as u64,
+        });
+        trace.counters.expansions += (hi - lo) as u64 * num_ops as u64;
         depth += 1;
         // Materialise sparse successor rows for every state in the
         // frontier (parallel, no-op for dense tables).
@@ -375,7 +423,7 @@ pub(crate) fn compiled_search(
             }
             codes.sort_unstable();
             codes.dedup();
-            cs.ensure_rows(memo, &codes);
+            cs.ensure_rows(memo, &codes, trace);
         }
         // Expand the frontier in parallel; each chunk emits candidates in
         // frontier × op order.
@@ -458,6 +506,7 @@ pub(crate) fn compiled_search(
                         visited_pairs: nodes.len() as u64,
                         levels,
                     };
+                    trace.emit(|| QueryEvent::Witness { length: levels });
                     return Ok((Some(reconstruct_compiled(u, nodes, idx, ns)), stats));
                 }
             }
@@ -502,22 +551,6 @@ pub(crate) fn refine_auto(engine: Engine, sat_states: u64, ns: u64) -> Engine {
     }
 }
 
-/// Engine-dispatching core shared by every public search entry point:
-/// builds a one-query [`crate::oracle::Oracle`] (compile once, Sat(φ)
-/// enumerated once) and runs the search through it.
-fn search_with(
-    sys: &System,
-    phi: &Phi,
-    a: &ObjSet,
-    engine: Engine,
-    budget: &CompileBudget,
-    found: impl FnMut(u64, u64) -> bool,
-) -> Result<(Option<DependsWitness>, SearchStats)> {
-    let oracle = crate::oracle::Oracle::for_phi(sys, phi, engine, budget)?;
-    let part = oracle.partition(phi, a)?;
-    oracle.search_partition(&part, found)
-}
-
 /// Precomputed `(stride, domain size)` for extracting one object's index
 /// from an encoded state without decoding.
 pub(crate) fn extractor(u: &Universe, obj: ObjId) -> (u64, u64) {
@@ -526,31 +559,22 @@ pub(crate) fn extractor(u: &Universe, obj: ObjId) -> (u64, u64) {
 
 /// Decides `A ▷φ β` (Def 2-11): is there *any* history over which β
 /// strongly depends on A given φ? Exact; returns a witness if so.
-///
-/// Uses [`Engine::Auto`]: the search compiles the system to successor
-/// tables when the state space fits the default [`CompileBudget`]. Use
-/// [`depends_with`] to pin an engine.
-///
-/// # Examples
-///
-/// ```
-/// use sd_core::{examples, reach, ObjSet, Phi, Expr};
-///
-/// // δ: if m then β ← α — a flow exists, until φ pins m to false.
-/// let sys = examples::guarded_copy_system(2)?;
-/// let u = sys.universe();
-/// let (alpha, beta, m) = (u.obj("alpha")?, u.obj("beta")?, u.obj("m")?);
-/// let src = ObjSet::singleton(alpha);
-/// assert!(reach::depends(&sys, &Phi::True, &src, beta)?.is_some());
-/// let phi = Phi::expr(Expr::var(m).not());
-/// assert!(reach::depends(&sys, &phi, &src, beta)?.is_none());
-/// # Ok::<(), sd_core::Error>(())
-/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Query::new(phi, a).beta(beta).run_on(sys)` instead"
+)]
 pub fn depends(sys: &System, phi: &Phi, a: &ObjSet, beta: ObjId) -> Result<Option<DependsWitness>> {
-    depends_with(sys, phi, a, beta, Engine::Auto, &CompileBudget::default())
+    Ok(Query::new(phi.clone(), a.clone())
+        .beta(beta)
+        .run_on(sys)?
+        .into_witness())
 }
 
 /// [`depends`] under an explicit engine and budget.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Query::new(phi, a).beta(beta).engine(e).budget(b).run_on(sys)` instead"
+)]
 pub fn depends_with(
     sys: &System,
     phi: &Phi,
@@ -559,10 +583,19 @@ pub fn depends_with(
     engine: Engine,
     budget: &CompileBudget,
 ) -> Result<Option<DependsWitness>> {
-    Ok(depends_with_stats(sys, phi, a, beta, engine, budget)?.0)
+    Ok(Query::new(phi.clone(), a.clone())
+        .beta(beta)
+        .engine(engine)
+        .budget(*budget)
+        .run_on(sys)?
+        .into_witness())
 }
 
 /// [`depends_with`], also returning search diagnostics.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Query::new(phi, a).beta(beta).run_on(sys)`; the outcome carries stats and a report"
+)]
 pub fn depends_with_stats(
     sys: &System,
     phi: &Phi,
@@ -571,24 +604,38 @@ pub fn depends_with_stats(
     engine: Engine,
     budget: &CompileBudget,
 ) -> Result<(Option<DependsWitness>, SearchStats)> {
-    let (stride, dom) = extractor(sys.universe(), beta);
-    search_with(sys, phi, a, engine, budget, move |c1, c2| {
-        (c1 / stride) % dom != (c2 / stride) % dom
-    })
+    let out = Query::new(phi.clone(), a.clone())
+        .beta(beta)
+        .engine(engine)
+        .budget(*budget)
+        .run_on(sys)?;
+    let stats = out.stats.expect("a β-target query always runs a search");
+    Ok((out.into_witness(), stats))
 }
 
 /// Decides the set-target relation `A ▷φ B` (Def 5-7): some history leads
 /// the pair to values differing at *every* object of B.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Query::new(phi, a).set(b).run_on(sys)` instead"
+)]
 pub fn depends_set(
     sys: &System,
     phi: &Phi,
     a: &ObjSet,
     b: &ObjSet,
 ) -> Result<Option<DependsWitness>> {
-    depends_set_with(sys, phi, a, b, Engine::Auto, &CompileBudget::default())
+    Ok(Query::new(phi.clone(), a.clone())
+        .set(b.clone())
+        .run_on(sys)?
+        .into_witness())
 }
 
 /// [`depends_set`] under an explicit engine and budget.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Query::new(phi, a).set(b).engine(e).budget(b).run_on(sys)` instead"
+)]
 pub fn depends_set_with(
     sys: &System,
     phi: &Phi,
@@ -597,27 +644,30 @@ pub fn depends_set_with(
     engine: Engine,
     budget: &CompileBudget,
 ) -> Result<Option<DependsWitness>> {
-    if b.is_empty() {
-        return Ok(None);
-    }
-    let u = sys.universe();
-    let targets: Vec<(u64, u64)> = b.iter().map(|obj| extractor(u, obj)).collect();
-    let (witness, _) = search_with(sys, phi, a, engine, budget, move |c1, c2| {
-        targets
-            .iter()
-            .all(|&(stride, dom)| (c1 / stride) % dom != (c2 / stride) % dom)
-    })?;
-    Ok(witness)
+    Ok(Query::new(phi.clone(), a.clone())
+        .set(b.clone())
+        .engine(engine)
+        .budget(*budget)
+        .run_on(sys)?
+        .into_witness())
 }
 
 /// All sinks of a source set: `{ β | A ▷φ β }` — one row of the §3.6 worth
 /// measure, computed with a single pair-BFS (exhaustive, except that the
 /// sweep stops early once every object is known to be a sink).
+#[deprecated(since = "0.2.0", note = "use `Query::new(phi, a).run_on(sys)` instead")]
 pub fn sinks(sys: &System, phi: &Phi, a: &ObjSet) -> Result<ObjSet> {
-    sinks_with(sys, phi, a, Engine::Auto, &CompileBudget::default())
+    Ok(Query::new(phi.clone(), a.clone())
+        .run_on(sys)?
+        .into_sinks()
+        .expect("a sinks query returns a sink set"))
 }
 
 /// [`sinks`] under an explicit engine and budget.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Query::new(phi, a).engine(e).budget(b).run_on(sys)` instead"
+)]
 pub fn sinks_with(
     sys: &System,
     phi: &Phi,
@@ -625,37 +675,33 @@ pub fn sinks_with(
     engine: Engine,
     budget: &CompileBudget,
 ) -> Result<ObjSet> {
-    let u = sys.universe();
-    let extractors: Vec<(ObjId, u64, u64)> = u
-        .objects()
-        .map(|obj| {
-            let (stride, dom) = extractor(u, obj);
-            (obj, stride, dom)
-        })
-        .collect();
-    let total = extractors.len();
-    let mut out = ObjSet::empty();
-    let mut count = 0usize;
-    search_with(sys, phi, a, engine, budget, |c1, c2| {
-        for &(obj, stride, dom) in &extractors {
-            if !out.contains(obj) && (c1 / stride) % dom != (c2 / stride) % dom {
-                out.insert(obj);
-                count += 1;
-            }
-        }
-        count == total
-    })?;
-    Ok(out)
+    Ok(Query::new(phi.clone(), a.clone())
+        .engine(engine)
+        .budget(*budget)
+        .run_on(sys)?
+        .into_sinks()
+        .expect("a sinks query returns a sink set"))
 }
 
 /// One [`sinks`] row per source set, sharing a single Sat(φ) enumeration
 /// and a single compiled system across all rows; rows run in parallel on
 /// scoped threads. This is what the §3.6 worth matrix calls.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Query::matrix(phi, sources).run_on(sys)` instead"
+)]
 pub fn sinks_matrix(sys: &System, phi: &Phi, sources: &[ObjSet]) -> Result<Vec<ObjSet>> {
-    sinks_matrix_with(sys, phi, sources, Engine::Auto, &CompileBudget::default())
+    Ok(Query::matrix(phi.clone(), sources.to_vec())
+        .run_on(sys)?
+        .into_rows()
+        .expect("a matrix query returns rows"))
 }
 
 /// [`sinks_matrix`] under an explicit engine and budget.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Query::matrix(phi, sources).engine(e).budget(b).run_on(sys)` instead"
+)]
 pub fn sinks_matrix_with(
     sys: &System,
     phi: &Phi,
@@ -663,18 +709,24 @@ pub fn sinks_matrix_with(
     engine: Engine,
     budget: &CompileBudget,
 ) -> Result<Vec<ObjSet>> {
-    if sources.is_empty() {
-        return Ok(Vec::new());
-    }
-    let oracle = crate::oracle::Oracle::for_phi(sys, phi, engine, budget)?;
-    oracle.sinks_matrix(phi, sources)
+    Ok(Query::matrix(phi.clone(), sources.to_vec())
+        .engine(engine)
+        .budget(*budget)
+        .run_on(sys)?
+        .into_rows()
+        .expect("a matrix query returns rows"))
 }
 
 /// Bounded variant of [`depends`]: only histories of length ≤ `max_len`.
 ///
 /// Used by tests to cross-check the BFS against brute-force enumeration.
 /// One Sat(φ) partition is shared across all enumerated histories (the
-/// Oracle's interned enumeration).
+/// Oracle's interned enumeration). The bound is the trailing `usize`,
+/// matching [`crate::oracle::Oracle::depends_bounded`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Query::new(phi, a).beta(beta).bounded(max_len).run_on(sys)` instead"
+)]
 pub fn depends_bounded(
     sys: &System,
     phi: &Phi,
@@ -682,9 +734,12 @@ pub fn depends_bounded(
     beta: ObjId,
     max_len: usize,
 ) -> Result<Option<DependsWitness>> {
-    let oracle =
-        crate::oracle::Oracle::for_phi(sys, phi, Engine::Interpreted, &CompileBudget::default())?;
-    oracle.depends_bounded(phi, a, beta, max_len)
+    Ok(Query::new(phi.clone(), a.clone())
+        .beta(beta)
+        .bounded(max_len)
+        .engine(Engine::Interpreted)
+        .run_on(sys)?
+        .into_witness())
 }
 
 #[cfg(test)]
@@ -700,6 +755,11 @@ mod tests {
         Engine::CompiledDense,
         Engine::CompiledSparse,
     ];
+
+    /// Shorthand: a β-target query on cloned inputs.
+    fn q(phi: &Phi, a: &ObjSet, beta: ObjId) -> Query {
+        Query::new(phi.clone(), a.clone()).beta(beta)
+    }
 
     /// §3.3 system: δ1: if flag then β ← α else β ← 0;
     /// δ2: (flag ← tt; α ← x).
@@ -747,12 +807,15 @@ mod tests {
         let b = u.obj("beta").unwrap();
         let flag = u.obj("flag").unwrap();
         let phi = Phi::expr(Expr::var(flag).not());
-        assert!(depends(&sys, &phi, &ObjSet::singleton(a), b)
+        assert!(!q(&phi, &ObjSet::singleton(a), b)
+            .run_on(&sys)
             .unwrap()
-            .is_none());
+            .holds());
         // Without the constraint there is a flow.
-        let w = depends(&sys, &Phi::True, &ObjSet::singleton(a), b)
+        let w = q(&Phi::True, &ObjSet::singleton(a), b)
+            .run_on(&sys)
             .unwrap()
+            .into_witness()
             .unwrap();
         // Replay the witness to double-check it.
         let o1 = sys.run(&w.sigma1, &w.history).unwrap();
@@ -772,8 +835,8 @@ mod tests {
                 Phi::True,
                 Phi::expr(Expr::var(u.obj("flag").unwrap()).not()),
             ] {
-                let exact = depends(&sys, &phi, &a, b).unwrap().is_some();
-                let brute = depends_bounded(&sys, &phi, &a, b, 4).unwrap().is_some();
+                let exact = q(&phi, &a, b).run_on(&sys).unwrap().holds();
+                let brute = q(&phi, &a, b).bounded(4).run_on(&sys).unwrap().holds();
                 // Histories of length ≤ 4 are enough in this tiny system.
                 assert_eq!(exact, brute, "mismatch for source {src}");
             }
@@ -787,11 +850,19 @@ mod tests {
         let a = u.obj("alpha").unwrap();
         let b = u.obj("beta").unwrap();
         let x = u.obj("x").unwrap();
-        let from_x = sinks(&sys, &Phi::True, &ObjSet::singleton(x)).unwrap();
+        let from_x = Query::new(Phi::True, ObjSet::singleton(x))
+            .run_on(&sys)
+            .unwrap()
+            .into_sinks()
+            .unwrap();
         // x flows to α (δ2), then to β (δ1), and stays in x.
         assert!(from_x.contains(x) && from_x.contains(a) && from_x.contains(b));
         // β never flows anywhere else.
-        let from_b = sinks(&sys, &Phi::True, &ObjSet::singleton(b)).unwrap();
+        let from_b = Query::new(Phi::True, ObjSet::singleton(b))
+            .run_on(&sys)
+            .unwrap()
+            .into_sinks()
+            .unwrap();
         assert_eq!(from_b, ObjSet::singleton(b));
     }
 
@@ -803,14 +874,16 @@ mod tests {
         let b = u.obj("beta").unwrap();
         // α reaches {α, β} simultaneously (before δ2 destroys α).
         let ab = ObjSet::from_iter([a, b]);
-        assert!(depends_set(&sys, &Phi::True, &ObjSet::singleton(a), &ab)
+        assert!(Query::new(Phi::True, ObjSet::singleton(a))
+            .set(ab)
+            .run_on(&sys)
             .unwrap()
-            .is_some());
-        assert!(
-            depends_set(&sys, &Phi::True, &ObjSet::singleton(a), &ObjSet::empty())
-                .unwrap()
-                .is_none()
-        );
+            .holds());
+        assert!(!Query::new(Phi::True, ObjSet::singleton(a))
+            .set(ObjSet::empty())
+            .run_on(&sys)
+            .unwrap()
+            .holds());
     }
 
     #[test]
@@ -822,16 +895,12 @@ mod tests {
         let a = u.obj("alpha").unwrap();
         let b = u.obj("beta").unwrap();
         for engine in ENGINES {
-            let w = depends_with(
-                &sys,
-                &Phi::True,
-                &ObjSet::singleton(a),
-                b,
-                engine,
-                &CompileBudget::default(),
-            )
-            .unwrap()
-            .unwrap();
+            let w = q(&Phi::True, &ObjSet::singleton(a), b)
+                .engine(engine)
+                .run_on(&sys)
+                .unwrap()
+                .into_witness()
+                .unwrap();
             assert_eq!(w.history.len(), 1, "flag=true states allow a 1-step flow");
         }
     }
@@ -841,23 +910,38 @@ mod tests {
         let sys = flag_sys();
         let u = sys.universe();
         let b = u.obj("beta").unwrap();
-        let budget = CompileBudget::default();
         for src in ["alpha", "beta", "flag", "x"] {
             let a = ObjSet::singleton(u.obj(src).unwrap());
             for phi in [
                 Phi::True,
                 Phi::expr(Expr::var(u.obj("flag").unwrap()).not()),
             ] {
-                let reference = depends_with(&sys, &phi, &a, b, Engine::Interpreted, &budget)
+                let reference = q(&phi, &a, b)
+                    .engine(Engine::Interpreted)
+                    .run_on(&sys)
                     .unwrap()
+                    .into_witness()
                     .map(|w| (w.history, w.sigma1, w.sigma2));
-                let ref_sinks = sinks_with(&sys, &phi, &a, Engine::Interpreted, &budget).unwrap();
+                let ref_sinks = Query::new(phi.clone(), a.clone())
+                    .engine(Engine::Interpreted)
+                    .run_on(&sys)
+                    .unwrap()
+                    .into_sinks()
+                    .unwrap();
                 for engine in [Engine::Auto, Engine::CompiledDense, Engine::CompiledSparse] {
-                    let got = depends_with(&sys, &phi, &a, b, engine, &budget)
+                    let got = q(&phi, &a, b)
+                        .engine(engine)
+                        .run_on(&sys)
                         .unwrap()
+                        .into_witness()
                         .map(|w| (w.history, w.sigma1, w.sigma2));
                     assert_eq!(got, reference, "depends mismatch for {src} / {engine:?}");
-                    let got_sinks = sinks_with(&sys, &phi, &a, engine, &budget).unwrap();
+                    let got_sinks = Query::new(phi.clone(), a.clone())
+                        .engine(engine)
+                        .run_on(&sys)
+                        .unwrap()
+                        .into_sinks()
+                        .unwrap();
                     assert_eq!(
                         got_sinks, ref_sinks,
                         "sinks mismatch for {src} / {engine:?}"
@@ -874,13 +958,28 @@ mod tests {
         let sources: Vec<ObjSet> = u.objects().map(ObjSet::singleton).collect();
         let budget = CompileBudget::default();
         for engine in ENGINES {
-            let rows = sinks_matrix_with(&sys, &Phi::True, &sources, engine, &budget).unwrap();
+            let rows = Query::matrix(Phi::True, sources.clone())
+                .engine(engine)
+                .budget(budget)
+                .run_on(&sys)
+                .unwrap()
+                .into_rows()
+                .unwrap();
             for (src, row) in sources.iter().zip(&rows) {
-                let single = sinks(&sys, &Phi::True, src).unwrap();
+                let single = Query::new(Phi::True, src.clone())
+                    .run_on(&sys)
+                    .unwrap()
+                    .into_sinks()
+                    .unwrap();
                 assert_eq!(*row, single, "matrix row mismatch for {src:?}");
             }
         }
-        assert!(sinks_matrix(&sys, &Phi::True, &[]).unwrap().is_empty());
+        assert!(Query::matrix(Phi::True, Vec::new())
+            .run_on(&sys)
+            .unwrap()
+            .into_rows()
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -896,10 +995,16 @@ mod tests {
             (Engine::CompiledDense, "compiled-dense"),
             (Engine::CompiledSparse, "compiled-sparse"),
         ] {
-            let (w, stats) = depends_with_stats(&sys, &Phi::True, &a, b, engine, &budget).unwrap();
+            let out = q(&Phi::True, &a, b).engine(engine).run_on(&sys).unwrap();
+            let stats = out.stats.unwrap();
             assert_eq!(stats.engine, name);
+            assert_eq!(stats.engine, out.report.engine);
             assert!(stats.visited_pairs > 0);
-            assert_eq!(stats.levels as usize, w.unwrap().history.len());
+            assert!(out.report.pair_expansions > 0);
+            assert_eq!(
+                stats.levels as usize,
+                out.into_witness().unwrap().history.len()
+            );
             early.push(stats);
         }
         // Every engine goal-checks at discovery, so early-exit searches
@@ -917,11 +1022,13 @@ mod tests {
                 // index keeps the sweep exhaustive.
                 let part = SatPartition::new(&sys, &Phi::True, &a).unwrap();
                 if engine == Engine::Interpreted {
-                    interpreted_search(&sys, &part, |_, _| false).unwrap().1
+                    interpreted_search(&sys, &part, &mut Trace::disabled(), |_, _| false)
+                        .unwrap()
+                        .1
                 } else {
                     let cs = CompiledSystem::compile(&sys, engine, &budget).unwrap();
                     let mut bufs = SearchBuffers::new(ns, &budget);
-                    compiled_search(&cs, &part, &mut bufs, |_, _| false)
+                    compiled_search(&cs, &part, &mut bufs, &mut Trace::disabled(), |_, _| false)
                         .unwrap()
                         .1
                 }
@@ -950,12 +1057,15 @@ mod tests {
                     let a = ObjSet::singleton(u.obj(src).unwrap());
                     let part = SatPartition::new(&sys, &Phi::True, &a).unwrap();
                     // Early-exit search (leaves the buffers mid-sweep).
-                    let goal = |c1: u64, c2: u64| {
-                        (c1 / b_stride) % b_dom != (c2 / b_stride) % b_dom
-                    };
+                    let goal =
+                        |c1: u64, c2: u64| (c1 / b_stride) % b_dom != (c2 / b_stride) % b_dom;
                     let mut fresh = SearchBuffers::new(ns, &budget);
-                    let want = compiled_search(&cs, &part, &mut fresh, goal).unwrap();
-                    let got = compiled_search(&cs, &part, &mut reused, goal).unwrap();
+                    let want =
+                        compiled_search(&cs, &part, &mut fresh, &mut Trace::disabled(), goal)
+                            .unwrap();
+                    let got =
+                        compiled_search(&cs, &part, &mut reused, &mut Trace::disabled(), goal)
+                            .unwrap();
                     assert_eq!(got.1, want.1, "stats diverge for {src} / {engine:?}");
                     assert_eq!(
                         got.0.map(|w| (w.history, w.sigma1, w.sigma2)),
@@ -964,8 +1074,16 @@ mod tests {
                     );
                     // Exhaustive search.
                     let mut fresh = SearchBuffers::new(ns, &budget);
-                    let want = compiled_search(&cs, &part, &mut fresh, |_, _| false).unwrap();
-                    let got = compiled_search(&cs, &part, &mut reused, |_, _| false).unwrap();
+                    let want =
+                        compiled_search(&cs, &part, &mut fresh, &mut Trace::disabled(), |_, _| {
+                            false
+                        })
+                        .unwrap();
+                    let got =
+                        compiled_search(&cs, &part, &mut reused, &mut Trace::disabled(), |_, _| {
+                            false
+                        })
+                        .unwrap();
                     assert_eq!(got.1, want.1, "exhaustive stats diverge for {src}");
                 }
             }
@@ -984,8 +1102,8 @@ mod tests {
             max_dense_entries: 0,
             max_dense_pair_bits: 0,
         };
-        let (w, stats) = depends_with_stats(&sys, &Phi::True, &a, b, Engine::Auto, &tiny).unwrap();
-        assert_eq!(stats.engine, "compiled-sparse");
-        assert!(w.is_some());
+        let out = q(&Phi::True, &a, b).budget(tiny).run_on(&sys).unwrap();
+        assert_eq!(out.stats.unwrap().engine, "compiled-sparse");
+        assert!(out.holds());
     }
 }

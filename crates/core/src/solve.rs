@@ -227,6 +227,20 @@ mod tests {
     use crate::expr::Expr;
     use crate::op::{Cmd, Op};
     use crate::universe::{Domain, Universe};
+
+    /// Exact `A ▷φ β` verdict through the Query builder.
+    fn exact_depends(
+        sys: &System,
+        phi: &Phi,
+        a: &ObjSet,
+        beta: crate::universe::ObjId,
+    ) -> Option<crate::reach::DependsWitness> {
+        crate::query::Query::new(phi.clone(), a.clone())
+            .beta(beta)
+            .run_on(sys)
+            .unwrap()
+            .into_witness()
+    }
     use crate::value::{Rights, Value};
 
     /// δ: if α ≤ 10 then β ← 0 else β ← 1, α ∈ 0..=12 (§3.5, scaled to a
@@ -396,13 +410,7 @@ mod tests {
             for s in &class {
                 cyl.insert(s.encode(u));
             }
-            let solo = crate::reach::depends(
-                &sys,
-                &Phi::from_set(cyl.clone()),
-                &ObjSet::singleton(a),
-                b,
-            )
-            .unwrap();
+            let solo = exact_depends(&sys, &Phi::from_set(cyl.clone()), &ObjSet::singleton(a), b);
             if solo.is_none() {
                 expected.union_with(&cyl);
             }

@@ -118,9 +118,9 @@ impl State {
     /// Decodes a global state index back into a state.
     pub fn decode(u: &Universe, mut code: u64) -> State {
         let mut idx = vec![0u32; u.num_objects()];
-        for i in 0..u.num_objects() {
+        for (i, slot) in idx.iter_mut().enumerate() {
             let stride = u.stride(ObjId::from_index(i)) as u64;
-            idx[i] = (code / stride) as u32;
+            *slot = (code / stride) as u32;
             code %= stride;
         }
         State::from_indices(idx)

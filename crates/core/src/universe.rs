@@ -154,6 +154,7 @@ impl ObjSet {
     }
 
     /// Builds a set from any iterator, deduplicating.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter(ids: impl IntoIterator<Item = ObjId>) -> ObjSet {
         let mut ids: Vec<ObjId> = ids.into_iter().collect();
         ids.sort_unstable();

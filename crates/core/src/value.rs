@@ -233,7 +233,7 @@ mod tests {
 
     #[test]
     fn value_ordering_is_total() {
-        let mut vals = vec![Value::Int(2), Value::Bool(true), Value::Int(1), Value::Unit];
+        let mut vals = [Value::Int(2), Value::Bool(true), Value::Int(1), Value::Unit];
         vals.sort();
         // Sorting must not panic, and equal values compare equal.
         assert_eq!(vals.len(), 4);

@@ -106,11 +106,14 @@ pub fn worth(sys: &System, phi: &Phi) -> Result<Worth> {
     Ok(Worth { paths })
 }
 
-/// One `reach::sinks` row per source object, delegated to the batched
-/// [`crate::reach::sinks_matrix`] (shared compilation, parallel rows).
+/// One sinks row per source object, delegated to the batched matrix
+/// query (shared compilation, parallel rows).
 pub(crate) fn parallel_rows(sys: &System, phi: &Phi, sources: &[ObjId]) -> Result<Vec<ObjSet>> {
     let sets: Vec<ObjSet> = sources.iter().map(|&a| ObjSet::singleton(a)).collect();
-    crate::reach::sinks_matrix(sys, phi, &sets)
+    Ok(crate::query::Query::matrix(phi.clone(), sets)
+        .run_on(sys)?
+        .into_rows()
+        .expect("a matrix query returns rows"))
 }
 
 /// Checks monotonicity (Def 3-2) for one instance: if `φ1 ⊆ φ2` then

@@ -1,0 +1,175 @@
+//! `Query` builder vs. the deprecated `reach::*` free functions: the new
+//! API must answer byte-identically (same verdicts, same witnesses, same
+//! sink sets, same stats) on every example system from the paper.
+#![allow(deprecated)]
+
+use sd_core::reach;
+use sd_core::{examples, CompileBudget, Engine, ObjSet, Phi, Query, System};
+
+const ENGINES: [Engine; 4] = [
+    Engine::Auto,
+    Engine::Interpreted,
+    Engine::CompiledDense,
+    Engine::CompiledSparse,
+];
+
+fn example_systems() -> Vec<System> {
+    vec![
+        examples::copy_system(3).unwrap(),
+        examples::threshold_system(3).unwrap(),
+        examples::guarded_copy_system(2).unwrap(),
+        examples::flag_copy_system(2).unwrap(),
+        examples::nontransitive_system(2).unwrap(),
+        examples::left_right_system(2).unwrap(),
+        examples::m1m2_system(2).unwrap(),
+        examples::oscillator_system(2).unwrap(),
+    ]
+}
+
+fn phis_of(sys: &System) -> Vec<Phi> {
+    let mut phis = vec![Phi::True];
+    // A nontrivial constraint: pin the first object to its first value.
+    let u = sys.universe();
+    if let Some(alpha) = u.objects().next() {
+        let dom = u.domain(alpha);
+        let v = dom.values().first().unwrap().clone();
+        phis.push(Phi::expr(
+            sd_core::Expr::var(alpha).eq(sd_core::Expr::Const(v)),
+        ));
+    }
+    phis
+}
+
+/// `Query::new(φ, A).beta(β)` answers exactly like `reach::depends_with`
+/// for every engine, source, sink and constraint.
+#[test]
+fn beta_queries_match_free_functions() {
+    let budget = CompileBudget::default();
+    for sys in example_systems() {
+        let u = sys.universe();
+        let ids: Vec<_> = u.objects().collect();
+        for phi in phis_of(&sys) {
+            for &alpha in &ids {
+                let a = ObjSet::singleton(alpha);
+                for &beta in &ids {
+                    for engine in ENGINES {
+                        let old =
+                            reach::depends_with(&sys, &phi, &a, beta, engine, &budget).unwrap();
+                        let new = Query::new(phi.clone(), a.clone())
+                            .beta(beta)
+                            .engine(engine)
+                            .budget(budget)
+                            .run_on(&sys)
+                            .unwrap()
+                            .into_witness();
+                        assert_eq!(
+                            old.as_ref().map(|w| (&w.history, &w.sigma1, &w.sigma2)),
+                            new.as_ref().map(|w| (&w.history, &w.sigma1, &w.sigma2)),
+                            "witness mismatch ({engine:?})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Sinks, set-target and matrix queries agree with their free-function
+/// ancestors, including the returned search stats.
+#[test]
+fn sinks_set_and_matrix_queries_match_free_functions() {
+    let budget = CompileBudget::default();
+    for sys in example_systems() {
+        let u = sys.universe();
+        let ids: Vec<_> = u.objects().collect();
+        let sets: Vec<ObjSet> = ids.iter().map(|&o| ObjSet::singleton(o)).collect();
+        for phi in phis_of(&sys) {
+            for a in &sets {
+                let old = reach::sinks_with(&sys, &phi, a, Engine::Auto, &budget).unwrap();
+                let new = Query::new(phi.clone(), a.clone())
+                    .run_on(&sys)
+                    .unwrap()
+                    .into_sinks()
+                    .expect("sinks query");
+                assert_eq!(old, new, "sinks mismatch");
+
+                let b: ObjSet = ids.iter().take(2).copied().collect();
+                let old = reach::depends_set_with(&sys, &phi, a, &b, Engine::Auto, &budget)
+                    .unwrap()
+                    .map(|w| (w.history, w.sigma1, w.sigma2));
+                let new = Query::new(phi.clone(), a.clone())
+                    .set(b)
+                    .run_on(&sys)
+                    .unwrap()
+                    .into_witness()
+                    .map(|w| (w.history, w.sigma1, w.sigma2));
+                assert_eq!(old, new, "set-target mismatch");
+            }
+            let old_rows =
+                reach::sinks_matrix_with(&sys, &phi, &sets, Engine::Auto, &budget).unwrap();
+            let out = Query::matrix(phi.clone(), sets.clone())
+                .run_on(&sys)
+                .unwrap();
+            assert!(out.stats.is_some(), "matrix queries carry stats");
+            let new_rows = out.into_rows().expect("matrix rows");
+            assert_eq!(old_rows, new_rows, "matrix rows mismatch");
+        }
+    }
+}
+
+/// Bounded queries (`k`-step dependency) agree with
+/// `reach::depends_bounded` verdict-for-verdict and witness-for-witness.
+#[test]
+fn bounded_queries_match_free_function() {
+    for sys in example_systems() {
+        let u = sys.universe();
+        let ids: Vec<_> = u.objects().collect();
+        for &alpha in &ids {
+            let a = ObjSet::singleton(alpha);
+            for &beta in &ids {
+                for k in 0..=3usize {
+                    let old = reach::depends_bounded(&sys, &Phi::True, &a, beta, k)
+                        .unwrap()
+                        .map(|w| (w.history, w.sigma1, w.sigma2));
+                    let new = Query::new(Phi::True, a.clone())
+                        .beta(beta)
+                        .bounded(k)
+                        .engine(Engine::Interpreted)
+                        .run_on(&sys)
+                        .unwrap()
+                        .into_witness()
+                        .map(|w| (w.history, w.sigma1, w.sigma2));
+                    assert_eq!(old, new, "bounded(k = {k}) mismatch");
+                }
+            }
+        }
+    }
+}
+
+/// `depends_with_stats` and the Query report/stats channel agree.
+#[test]
+fn stats_channel_matches_free_function() {
+    let sys = examples::flag_copy_system(2).unwrap();
+    let u = sys.universe();
+    let a = ObjSet::singleton(u.obj("alpha").unwrap());
+    let beta = u.obj("beta").unwrap();
+    let budget = CompileBudget::default();
+    for engine in ENGINES {
+        let (old_w, old_stats) =
+            reach::depends_with_stats(&sys, &Phi::True, &a, beta, engine, &budget).unwrap();
+        let out = Query::new(Phi::True, a.clone())
+            .beta(beta)
+            .engine(engine)
+            .budget(budget)
+            .run_on(&sys)
+            .unwrap();
+        let new_stats = out.stats.expect("exact queries carry stats");
+        let new_w = out.into_witness();
+        assert_eq!(
+            old_w.map(|w| (w.history, w.sigma1, w.sigma2)),
+            new_w.map(|w| (w.history, w.sigma1, w.sigma2)),
+            "{engine:?}"
+        );
+        assert_eq!(old_stats, new_stats, "{engine:?}");
+    }
+}

@@ -189,11 +189,14 @@ pub fn static_flows(p: &Program) -> Result<Vec<(String, String)>> {
     }
     // Floyd–Warshall closure.
     for k in 0..n {
-        for i in 0..n {
-            if reach[i][k] {
-                for j in 0..n {
-                    if reach[k][j] {
-                        reach[i][j] = true;
+        // Row k is stable during iteration k (reach[k][j] |= reach[k][k] &&
+        // reach[k][j] changes nothing), so a snapshot is exact.
+        let row_k = reach[k].clone();
+        for row in reach.iter_mut() {
+            if row[k] {
+                for (j, &via_k) in row_k.iter().enumerate() {
+                    if via_k {
+                        row[j] = true;
                     }
                 }
             }

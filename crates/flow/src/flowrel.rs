@@ -53,20 +53,23 @@ pub fn transitive_flows(sys: &System) -> Result<Relation> {
         }
     }
     for k in 0..n {
-        for i in 0..n {
-            if reach[i][k] {
-                for j in 0..n {
-                    if reach[k][j] {
-                        reach[i][j] = true;
+        // Row k is stable during iteration k (reach[k][j] |= reach[k][k] &&
+        // reach[k][j] changes nothing), so a snapshot is exact.
+        let row_k = reach[k].clone();
+        for row in reach.iter_mut() {
+            if row[k] {
+                for (j, &via_k) in row_k.iter().enumerate() {
+                    if via_k {
+                        row[j] = true;
                     }
                 }
             }
         }
     }
     let mut out = Relation::new();
-    for i in 0..n {
-        for j in 0..n {
-            if reach[i][j] {
+    for (i, row) in reach.iter().enumerate() {
+        for (j, &connected) in row.iter().enumerate() {
+            if connected {
                 out.insert((ObjId::from_index(i), ObjId::from_index(j)));
             }
         }
@@ -80,7 +83,10 @@ pub fn semantic_flows(sys: &System, phi: &Phi) -> Result<Relation> {
     // One compile + parallel row sweep over all sources, rather than a
     // fresh per-source search for every α.
     let sources: Vec<ObjSet> = sys.universe().objects().map(ObjSet::singleton).collect();
-    let rows = sd_core::reach::sinks_matrix(sys, phi, &sources)?;
+    let rows = sd_core::Query::matrix(phi.clone(), sources)
+        .run_on(sys)?
+        .into_rows()
+        .expect("a matrix query returns rows");
     let mut out = Relation::new();
     for (alpha, sinks) in sys.universe().objects().zip(rows) {
         for beta in sinks.iter() {

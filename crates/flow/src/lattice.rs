@@ -310,8 +310,8 @@ mod tests {
         let names: Vec<String> = ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect();
         // a, b incomparable; c, d both above a and b; c, d incomparable.
         let mut leq = vec![vec![false; 4]; 4];
-        for i in 0..4 {
-            leq[i][i] = true;
+        for (i, row) in leq.iter_mut().enumerate() {
+            row[i] = true;
         }
         leq[0][2] = true;
         leq[0][3] = true;

@@ -323,13 +323,14 @@ mod tests {
         let semantic = crate::flowrel::semantic_flows(&sys, &phi).unwrap();
         assert!(semantic.contains(&(a, b)));
         // …the unchecked analysis misses it (unsound!)…
-        let unchecked = cover_sensitive_flows_unchecked(&sys, &phi, &[phi.clone()]).unwrap();
+        let unchecked =
+            cover_sensitive_flows_unchecked(&sys, &phi, std::slice::from_ref(&phi)).unwrap();
         assert!(
             !unchecked.contains(&(a, b)),
             "this is exactly the unsoundness the guard prevents"
         );
         // …and the checked entry point refuses the non-autonomous piece.
-        let err = cover_sensitive_flows(&sys, &phi, &[phi.clone()]).unwrap_err();
+        let err = cover_sensitive_flows(&sys, &phi, std::slice::from_ref(&phi)).unwrap_err();
         assert!(err.to_string().contains("not autonomous"));
     }
 }

@@ -93,8 +93,8 @@ impl Channel {
         let m = self.outputs();
         let mut py = vec![0.0f64; m];
         for (x, &pxv) in px.iter().enumerate() {
-            for y in 0..m {
-                py[y] += pxv * self.p[x][y];
+            for (y, slot) in py.iter_mut().enumerate() {
+                *slot += pxv * self.p[x][y];
             }
         }
         let mut i = 0.0;
@@ -102,10 +102,10 @@ impl Channel {
             if pxv <= 0.0 {
                 continue;
             }
-            for y in 0..m {
+            for (y, &pyv) in py.iter().enumerate() {
                 let pxy = pxv * self.p[x][y];
                 if pxy > 0.0 {
-                    i += pxy * (self.p[x][y] / py[y]).log2();
+                    i += pxy * (self.p[x][y] / pyv).log2();
                 }
             }
         }
@@ -125,21 +125,21 @@ impl Channel {
             // q(y) = Σx px(x) p(y|x).
             let mut py = vec![0.0f64; m];
             for (x, &pxv) in px.iter().enumerate() {
-                for y in 0..m {
-                    py[y] += pxv * self.p[x][y];
+                for (y, slot) in py.iter_mut().enumerate() {
+                    *slot += pxv * self.p[x][y];
                 }
             }
             // c(x) = exp(Σy p(y|x) ln(p(y|x)/q(y))).
             let mut c = vec![0.0f64; n];
-            for x in 0..n {
+            for (x, slot) in c.iter_mut().enumerate() {
                 let mut acc = 0.0;
-                for y in 0..m {
+                for (y, &pyv) in py.iter().enumerate() {
                     let pyx = self.p[x][y];
-                    if pyx > 0.0 && py[y] > 0.0 {
-                        acc += pyx * (pyx / py[y]).ln();
+                    if pyx > 0.0 && pyv > 0.0 {
+                        acc += pyx * (pyx / pyv).ln();
                     }
                 }
-                c[x] = acc.exp();
+                *slot = acc.exp();
             }
             let z: f64 = px.iter().zip(&c).map(|(p, c)| p * c).sum();
             // Bounds: ln(z) ≤ C·ln2 ≤ ln(max c).

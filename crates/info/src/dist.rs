@@ -10,6 +10,10 @@ use std::collections::HashMap;
 
 use sd_core::{History, ObjSet, Phi, Result, State, System};
 
+/// A joint distribution over (initial A-projection, final B-projection)
+/// assignment pairs.
+pub type JointDist = HashMap<(Vec<u32>, Vec<u32>), f64>;
+
 /// A probability distribution over states of a fixed system, keyed by
 /// encoded state index.
 #[derive(Debug, Clone)]
@@ -113,9 +117,9 @@ impl Dist {
         a: &ObjSet,
         b: &ObjSet,
         h: &History,
-    ) -> Result<HashMap<(Vec<u32>, Vec<u32>), f64>> {
+    ) -> Result<JointDist> {
         let u = sys.universe();
-        let mut out: HashMap<(Vec<u32>, Vec<u32>), f64> = HashMap::new();
+        let mut out: JointDist = HashMap::new();
         for (&code, &p) in &self.probs {
             let sigma = State::decode(u, code);
             let end = sys.run(&sigma, h)?;

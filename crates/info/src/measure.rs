@@ -48,7 +48,8 @@ pub fn bits_held_constant(
     // Group mass by the complement assignment; within each group, build
     // the joint (α0, β') distribution.
     use std::collections::HashMap;
-    let mut groups: HashMap<Vec<u32>, (f64, HashMap<(u32, u32), f64>)> = HashMap::new();
+    type Groups = HashMap<Vec<u32>, (f64, HashMap<(u32, u32), f64>)>;
+    let mut groups: Groups = HashMap::new();
     for (code, p) in dist.iter() {
         let sigma = State::decode(u, code);
         let end = sys.run(&sigma, h)?;

@@ -440,7 +440,6 @@ pub fn compile(p: &Program) -> Result<Compiled> {
     let fix = move |slot: usize| if slot == EXIT { n } else { perm_ref[slot] };
 
     // pc values are slot + 1; exit pc = n + 1; entry pc = entry_slot + 1.
-    let mut objects = objects;
     objects.push(("pc".into(), Domain::int_range(1, (n + 1) as i64)?));
     let u = Universe::new(objects)?;
     let pc = u.obj("pc")?;

@@ -137,7 +137,10 @@ pub fn depends_exact(c: &Compiled, ann: &Assertions, from: &str, to: &str) -> Re
     let phi = entry_phi(c, ann)?;
     let a = sd_core::ObjSet::singleton(c.var(from)?);
     let beta = c.var(to)?;
-    Ok(sd_core::reach::depends(&c.system, &phi, &a, beta)?.is_some())
+    Ok(sd_core::Query::new(phi, a)
+        .beta(beta)
+        .run_on(&c.system)?
+        .holds())
 }
 
 #[cfg(test)]

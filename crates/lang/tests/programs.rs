@@ -23,8 +23,11 @@ if guess == secret { ok := true; } else { ok := false; }
     let secret = c.var("secret").unwrap();
     let ok = c.var("ok").unwrap();
     // The flow exists…
-    let dep =
-        sd_core::reach::depends(&c.system, &c.at_entry(), &ObjSet::singleton(secret), ok).unwrap();
+    let dep = sd_core::Query::new(c.at_entry(), ObjSet::singleton(secret))
+        .beta(ok)
+        .run_on(&c.system)
+        .unwrap()
+        .into_witness();
     assert!(dep.is_some());
     // Quantitatively this is *contingent* transmission: an observer of
     // `ok` who does not know the guess learns nothing about the secret
@@ -60,13 +63,11 @@ out := secret;
 ";
     let p = parse(src).unwrap();
     let c = compile(&p).unwrap();
-    let dep = sd_core::reach::depends(
-        &c.system,
-        &c.at_entry(),
-        &ObjSet::singleton(c.var("secret").unwrap()),
-        c.var("out").unwrap(),
-    )
-    .unwrap();
+    let dep = sd_core::Query::new(c.at_entry(), ObjSet::singleton(c.var("secret").unwrap()))
+        .beta(c.var("out").unwrap())
+        .run_on(&c.system)
+        .unwrap()
+        .into_witness();
     assert!(dep.is_none(), "the scrub kills the initial variety");
 }
 
@@ -81,13 +82,11 @@ secret := 0;
 ";
     let p = parse(src).unwrap();
     let c = compile(&p).unwrap();
-    let dep = sd_core::reach::depends(
-        &c.system,
-        &c.at_entry(),
-        &ObjSet::singleton(c.var("secret").unwrap()),
-        c.var("out").unwrap(),
-    )
-    .unwrap();
+    let dep = sd_core::Query::new(c.at_entry(), ObjSet::singleton(c.var("secret").unwrap()))
+        .beta(c.var("out").unwrap())
+        .run_on(&c.system)
+        .unwrap()
+        .into_witness();
     assert!(dep.is_some());
 }
 
@@ -104,13 +103,11 @@ if h { l := 0; } else { l := 0; }
     let p = parse(src).unwrap();
     let c = compile(&p).unwrap();
     assert_eq!(c.flat.len(), 1, "branch-free if compiles atomically");
-    let dep = sd_core::reach::depends(
-        &c.system,
-        &c.at_entry(),
-        &ObjSet::singleton(c.var("h").unwrap()),
-        c.var("l").unwrap(),
-    )
-    .unwrap();
+    let dep = sd_core::Query::new(c.at_entry(), ObjSet::singleton(c.var("h").unwrap()))
+        .beta(c.var("l").unwrap())
+        .run_on(&c.system)
+        .unwrap()
+        .into_witness();
     assert!(dep.is_none());
 }
 

@@ -68,7 +68,10 @@ impl Confinement {
     ) -> Result<bool> {
         let a = ObjSet::singleton(m.file(confined)?);
         let b = m.file(spy)?;
-        Ok(sd_core::reach::depends(&m.system, phi, &a, b)?.is_none())
+        Ok(!sd_core::Query::new(phi.clone(), a)
+            .beta(b)
+            .run_on(&m.system)?
+            .holds())
     }
 }
 
@@ -195,10 +198,10 @@ mod tests {
         let phi = no_reads_of_confined(&m, &["secret"]).unwrap();
         let scratch = m.file("scratch").unwrap();
         let spy = m.file("spy").unwrap();
-        assert!(
-            sd_core::reach::depends(&m.system, &phi, &ObjSet::singleton(scratch), spy)
-                .unwrap()
-                .is_some()
-        );
+        assert!(sd_core::Query::new(phi, ObjSet::singleton(scratch))
+            .beta(spy)
+            .run_on(&m.system)
+            .unwrap()
+            .holds());
     }
 }

@@ -357,24 +357,28 @@ mod tests {
         let a = m.file("a").unwrap();
         let b = m.file("b").unwrap();
         // Unconstrained, a ▷ b (some state grants the rights).
-        assert!(
-            sd_core::reach::depends(&m.system, &Phi::True, &ObjSet::singleton(a), b)
-                .unwrap()
-                .is_some()
-        );
+        assert!(sd_core::Query::new(Phi::True, ObjSet::singleton(a).clone())
+            .beta(b)
+            .run_on(&m.system)
+            .unwrap()
+            .holds());
         // If u cannot read a, a's content cannot reach b.
         let phi = m.cell_lacks("u", "a", Rights::R).unwrap();
         assert!(
-            sd_core::reach::depends(&m.system, &phi, &ObjSet::singleton(a), b)
+            !sd_core::Query::new(phi.clone(), ObjSet::singleton(a).clone())
+                .beta(b)
+                .run_on(&m.system)
                 .unwrap()
-                .is_none()
+                .holds()
         );
         // Likewise if u is not a subject at all.
         let phi2 = m.cell_lacks("u", "u", Rights::S).unwrap();
         assert!(
-            sd_core::reach::depends(&m.system, &phi2, &ObjSet::singleton(a), b)
+            !sd_core::Query::new(phi2.clone(), ObjSet::singleton(a).clone())
+                .beta(b)
+                .run_on(&m.system)
                 .unwrap()
-                .is_none()
+                .holds()
         );
     }
 
@@ -393,9 +397,11 @@ mod tests {
         let from = m.cell("u", "a").unwrap();
         let to = m.cell("v", "a").unwrap();
         assert!(
-            sd_core::reach::depends(&m.system, &Phi::True, &ObjSet::singleton(from), to)
+            sd_core::Query::new(Phi::True, ObjSet::singleton(from).clone())
+                .beta(to)
+                .run_on(&m.system)
                 .unwrap()
-                .is_some()
+                .holds()
         );
     }
 
@@ -413,9 +419,11 @@ mod tests {
         let a = m.file("a").unwrap();
         let cell = m.cell("u", "a").unwrap();
         assert!(
-            sd_core::reach::depends(&m.system, &Phi::True, &ObjSet::singleton(a), cell)
+            sd_core::Query::new(Phi::True, ObjSet::singleton(a).clone())
+                .beta(cell)
+                .run_on(&m.system)
                 .unwrap()
-                .is_some(),
+                .holds(),
             "content flows into the access matrix"
         );
     }

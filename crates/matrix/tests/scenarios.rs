@@ -25,9 +25,11 @@ fn grant_defeats_static_denial() {
     // u's cell ▷ v's cell.
     let ua = m.cell("u", "a").unwrap();
     assert!(
-        sd_core::reach::depends(&m.system, &phi, &ObjSet::singleton(ua), va)
+        sd_core::Query::new(phi.clone(), ObjSet::singleton(ua).clone())
+            .beta(va)
+            .run_on(&m.system)
             .unwrap()
-            .is_some(),
+            .holds(),
         "grant transmits u's rights into v's cell"
     );
     // Without grant ops, cells are frozen and no such path exists.
@@ -40,9 +42,11 @@ fn grant_defeats_static_denial() {
     let fua = frozen.cell("u", "a").unwrap();
     let fva = frozen.cell("v", "a").unwrap();
     assert!(
-        sd_core::reach::depends(&frozen.system, &Phi::True, &ObjSet::singleton(fua), fva)
+        !sd_core::Query::new(Phi::True, ObjSet::singleton(fua).clone())
+            .beta(fva)
+            .run_on(&frozen.system)
             .unwrap()
-            .is_none()
+            .holds()
     );
     let _ = a;
 }
@@ -62,9 +66,11 @@ fn revoke_is_a_channel_too() {
     let ua = m.cell("u", "a").unwrap();
     let va = m.cell("v", "a").unwrap();
     assert!(
-        sd_core::reach::depends(&m.system, &Phi::True, &ObjSet::singleton(ua), va)
+        sd_core::Query::new(Phi::True, ObjSet::singleton(ua).clone())
+            .beta(va)
+            .run_on(&m.system)
             .unwrap()
-            .is_some()
+            .holds()
     );
 }
 
@@ -111,15 +117,19 @@ fn four_level_security_chain() {
     let top = m.file("f3").unwrap();
     let bottom = m.file("f0").unwrap();
     assert!(
-        sd_core::reach::depends(&m.system, &phi, &ObjSet::singleton(top), bottom)
+        !sd_core::Query::new(phi.clone(), ObjSet::singleton(top).clone())
+            .beta(bottom)
+            .run_on(&m.system)
             .unwrap()
-            .is_none()
+            .holds()
     );
     // Up-flow f0 → f3 is permitted and real.
     assert!(
-        sd_core::reach::depends(&m.system, &phi, &ObjSet::singleton(bottom), top)
+        sd_core::Query::new(phi.clone(), ObjSet::singleton(bottom).clone())
+            .beta(top)
+            .run_on(&m.system)
             .unwrap()
-            .is_some()
+            .holds()
     );
 }
 

@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo run --example pointer_chains --release`.
 
-use strong_dependency::core::{examples, induction, reach, ObjId, ObjSet, Phi, Value};
+use strong_dependency::core::{examples, induction, ObjId, ObjSet, Phi, Query, Value};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 4;
@@ -54,11 +54,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Cross-check with the exact oracle.
-    let exact = reach::depends(&sys, &phi, &ObjSet::singleton(alpha), beta)?;
+    let exact = Query::new(phi.clone(), ObjSet::singleton(alpha))
+        .beta(beta)
+        .run_on(&sys)?
+        .into_witness();
     println!("exact pair-reachability: α ▷φ β = {}", exact.is_some());
 
     // Sanity: without φ, pointers can be re-aimed at α and the flow exists.
-    let free = reach::depends(&sys, &Phi::True, &ObjSet::singleton(alpha), beta)?;
+    let free = Query::new(Phi::True, ObjSet::singleton(alpha))
+        .beta(beta)
+        .run_on(&sys)?
+        .into_witness();
     match free {
         Some(w) => println!(
             "without φ the flow exists, e.g. over history {} ({} steps)",

@@ -4,7 +4,7 @@
 //! Run with `cargo run --example quickstart`.
 
 use strong_dependency::core::{
-    classify, problem::Problem, reach, solve, Cmd, Domain, Expr, ObjSet, Op, Phi, System, Universe,
+    classify, problem::Problem, solve, Cmd, Domain, Expr, ObjSet, Op, Phi, Query, System, Universe,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Can information be transmitted from α to β? (Def 2-7, decided by
     // pair reachability.)
     let src = ObjSet::singleton(alpha);
-    match reach::depends(&sys, &Phi::True, &src, beta)? {
+    match Query::new(Phi::True, src.clone())
+        .beta(beta)
+        .run_on(&sys)?
+        .into_witness()
+    {
         Some(w) => {
             println!("α ▷ β — yes. Witness history: {}", w.history);
             println!(

@@ -128,8 +128,11 @@ fn analyze(args: &[String]) -> Result<ExitCode, String> {
     let phi = floyd::entry_phi(&compiled, &ann).map_err(|e| e.to_string())?;
     let a = ObjSet::singleton(compiled.var(&from).map_err(|e| e.to_string())?);
     let beta = compiled.var(&to).map_err(|e| e.to_string())?;
-    let witness = strong_dependency::core::reach::depends(&compiled.system, &phi, &a, beta)
-        .map_err(|e| e.to_string())?;
+    let witness = strong_dependency::core::Query::new(phi.clone(), a.clone())
+        .beta(beta)
+        .run_on(&compiled.system)
+        .map_err(|e| e.to_string())?
+        .into_witness();
     match &witness {
         Some(w) => {
             println!("FLOW: {from} ▷ {to} — information can be transmitted.");

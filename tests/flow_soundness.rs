@@ -80,13 +80,11 @@ fn denning_certification_implies_semantic_security() {
             let c = compile(&p).unwrap();
             let h_obj = c.var("h").unwrap();
             let l_obj = c.var("l").unwrap();
-            let dep = strong_dependency::core::reach::depends(
-                &c.system,
-                &c.at_entry(),
-                &ObjSet::singleton(h_obj),
-                l_obj,
-            )
-            .unwrap();
+            let dep = strong_dependency::core::Query::new(c.at_entry(), ObjSet::singleton(h_obj))
+                .beta(l_obj)
+                .run_on(&c.system)
+                .unwrap()
+                .into_witness();
             assert!(dep.is_none(), "certified program leaks: {src}");
         }
     }
@@ -94,13 +92,12 @@ fn denning_certification_implies_semantic_security() {
     // semantically clean (h's initial value is destroyed first).
     let p = parse("var l: int 0..1; var h: int 0..1; h := 0; l := h;").unwrap();
     let c = compile(&p).unwrap();
-    let dep = strong_dependency::core::reach::depends(
-        &c.system,
-        &c.at_entry(),
-        &ObjSet::singleton(c.var("h").unwrap()),
-        c.var("l").unwrap(),
-    )
-    .unwrap();
+    let dep =
+        strong_dependency::core::Query::new(c.at_entry(), ObjSet::singleton(c.var("h").unwrap()))
+            .beta(c.var("l").unwrap())
+            .run_on(&c.system)
+            .unwrap()
+            .into_witness();
     assert!(
         dep.is_none(),
         "overwritten-then-copied h transmits nothing (§3.3's point)"

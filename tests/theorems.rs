@@ -5,7 +5,7 @@ mod common;
 
 use common::{random_autonomous_phi, random_phi, random_src_sink, random_system};
 use strong_dependency::core::{
-    after, classify, cover, depend, history, induction, reach, History, ObjSet, Phi,
+    after, classify, cover, depend, history, induction, History, ObjSet, Phi, Query,
 };
 
 /// Systems used across the theorem sweeps.
@@ -307,7 +307,11 @@ fn provers_are_sound() {
             if outcome.is_proved() {
                 proved += 1;
                 assert!(
-                    reach::depends(&sys, &phi, &a, beta).unwrap().is_none(),
+                    !Query::new(phi.clone(), a.clone())
+                        .beta(beta)
+                        .run_on(&sys)
+                        .unwrap()
+                        .holds(),
                     "prover claimed ¬A ▷φ β but the oracle found a flow (seed {i})"
                 );
             }
@@ -322,8 +326,17 @@ fn bfs_matches_bounded_enumeration() {
     for (i, sys) in systems().into_iter().enumerate().take(8) {
         let phi = random_phi(&sys, 400 + i as u64);
         let (a, beta) = random_src_sink(&sys, 500 + i as u64);
-        let exact = reach::depends(&sys, &phi, &a, beta).unwrap();
-        let brute = reach::depends_bounded(&sys, &phi, &a, beta, 3).unwrap();
+        let exact = Query::new(phi.clone(), a.clone())
+            .beta(beta)
+            .run_on(&sys)
+            .unwrap()
+            .into_witness();
+        let brute = Query::new(phi.clone(), a.clone())
+            .beta(beta)
+            .bounded(3)
+            .run_on(&sys)
+            .unwrap()
+            .into_witness();
         if brute.is_some() {
             assert!(exact.is_some(), "BFS missed a bounded flow (seed {i})");
         }
