@@ -1,0 +1,174 @@
+//! Load generator for the sd-server query service.
+//!
+//! Spawns an in-process `sdserved` on loopback and drives it with real
+//! TCP clients through two phases per concurrency level:
+//!
+//! - **cold**: a fixed pool of distinct queries, partitioned across the
+//!   clients, so every request misses the result cache and runs a pair
+//!   search on the shared Oracle;
+//! - **warm**: every client replays the *whole* pool, so after the cold
+//!   phase each request is a byte-identical cache replay.
+//!
+//! The cold/warm throughput ratio is the headline number: it bounds
+//! what the result cache buys a repeated-query workload over the wire.
+//! Writes `BENCH_server.json`; run with
+//! `cargo run -p sd-bench --bin server_bench --release`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sd_server::{Client, Config, QueryReq, ServeHandle, SystemDesc};
+
+struct PhaseRow {
+    phase: &'static str,
+    concurrency: usize,
+    requests: u64,
+    wall_ms: f64,
+    qps: f64,
+    hits: u64,
+    misses: u64,
+}
+
+fn server() -> ServeHandle {
+    let cfg = Config {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        queue_depth: 256,
+        cache_cap: 4096,
+        ..Config::default()
+    };
+    ServeHandle::spawn(cfg).expect("bind loopback")
+}
+
+/// The distinct-query pool: every (source-subset, β) depends pair and
+/// every source-subset sinks query, over two registered systems, with a
+/// couple of bounded variants thrown in (the bound splits the cache
+/// key, so each is a distinct cacheable query).
+fn query_pool(client: &mut Client) -> Vec<QueryReq> {
+    let mut pool = Vec::new();
+    let systems: [(SystemDesc, &[&str]); 2] = [
+        (
+            SystemDesc::Example {
+                name: "flag_copy".into(),
+                params: vec![3],
+            },
+            &["alpha", "beta", "flag", "x"],
+        ),
+        (
+            SystemDesc::Example {
+                name: "guarded_copy".into(),
+                params: vec![3],
+            },
+            &["alpha", "beta", "m"],
+        ),
+    ];
+    for (desc, objects) in systems {
+        let key = client.register(desc).expect("register");
+        for mask in 1u32..(1 << objects.len()) {
+            let a: Vec<String> = objects
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, n)| n.to_string())
+                .collect();
+            pool.push(QueryReq::sinks(key, a.clone()));
+            for beta in objects {
+                let mut q = QueryReq::depends(key, a.clone(), *beta);
+                pool.push(q.clone());
+                q.bound = Some(2);
+                pool.push(q);
+            }
+        }
+    }
+    pool
+}
+
+/// Runs one phase: each client thread issues its slice of `work`
+/// sequentially; returns total requests and wall time.
+fn run_phase(addr: std::net::SocketAddr, work: &[Vec<QueryReq>]) -> (u64, f64) {
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = work
+            .iter()
+            .map(|slice| {
+                s.spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    for req in slice {
+                        c.query(req.clone()).expect("query succeeds");
+                    }
+                    slice.len() as u64
+                })
+            })
+            .collect();
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        (total, start.elapsed().as_secs_f64() * 1e3)
+    })
+}
+
+fn main() {
+    let mut rows: Vec<PhaseRow> = Vec::new();
+    for concurrency in [1usize, 2, 4, 8] {
+        let handle = server();
+        let addr = handle.local_addr();
+        let mut c = Client::connect(addr).expect("connect");
+        let pool = query_pool(&mut c);
+
+        // Cold: the pool partitioned across clients — every query is
+        // distinct, every request is a miss.
+        let cold_work: Vec<Vec<QueryReq>> = (0..concurrency)
+            .map(|i| pool.iter().skip(i).step_by(concurrency).cloned().collect())
+            .collect();
+        let (cold_reqs, cold_ms) = run_phase(addr, &cold_work);
+        let cold_stats = handle.cache_stats();
+        rows.push(PhaseRow {
+            phase: "cold",
+            concurrency,
+            requests: cold_reqs,
+            wall_ms: cold_ms,
+            qps: f64::from(cold_reqs as u32) / (cold_ms / 1e3),
+            hits: cold_stats.hits,
+            misses: cold_stats.misses,
+        });
+
+        // Warm: every client replays the whole pool — all cache hits.
+        let warm_work: Vec<Vec<QueryReq>> = (0..concurrency).map(|_| pool.clone()).collect();
+        let (warm_reqs, warm_ms) = run_phase(addr, &warm_work);
+        let warm_stats = handle.cache_stats();
+        rows.push(PhaseRow {
+            phase: "warm",
+            concurrency,
+            requests: warm_reqs,
+            wall_ms: warm_ms,
+            qps: f64::from(warm_reqs as u32) / (warm_ms / 1e3),
+            hits: warm_stats.hits - cold_stats.hits,
+            misses: warm_stats.misses - cold_stats.misses,
+        });
+        handle.shutdown();
+        println!(
+            "concurrency {concurrency}: cold {:.0} q/s, warm {:.0} q/s ({}x)",
+            rows[rows.len() - 2].qps,
+            rows[rows.len() - 1].qps,
+            (rows[rows.len() - 1].qps / rows[rows.len() - 2].qps).round(),
+        );
+    }
+
+    let mut json =
+        String::from("{\n  \"benchmark\": \"server\",\n  \"unit\": \"qps\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"phase\": \"{}\", \"concurrency\": {}, \"requests\": {}, \"wall_ms\": {:.3}, \"qps\": {:.0}, \"cache_hits\": {}, \"cache_misses\": {}}}{}",
+            r.phase,
+            r.concurrency,
+            r.requests,
+            r.wall_ms,
+            r.qps,
+            r.hits,
+            r.misses,
+            if i + 1 == rows.len() { "" } else { "," },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+    println!("wrote BENCH_server.json");
+}

@@ -103,6 +103,42 @@ impl Phi {
         Phi::Not(Box::new(self))
     }
 
+    /// Feeds a canonical tagged encoding of the constraint into `h`,
+    /// for [`crate::Query::fingerprint`]. Returns `false` if the
+    /// constraint contains a native [`Phi::Pred`]: closures have no
+    /// canonical identity (and pointer identity is unsound as a cache
+    /// key once an `Arc` is dropped and its address reused), so such
+    /// constraints are not fingerprintable.
+    pub(crate) fn fingerprint_into(&self, h: &mut crate::fastmap::Fnv64) -> bool {
+        use std::hash::{Hash, Hasher};
+        match self {
+            Phi::True => h.write_u8(1),
+            Phi::False => h.write_u8(2),
+            Phi::Expr(e) => {
+                h.write_u8(3);
+                e.hash(h);
+            }
+            Phi::Pred { .. } => return false,
+            Phi::Set(s) => {
+                h.write_u8(5);
+                s.hash(h);
+            }
+            Phi::Not(p) => {
+                h.write_u8(6);
+                return p.fingerprint_into(h);
+            }
+            Phi::And(a, b) => {
+                h.write_u8(7);
+                return a.fingerprint_into(h) && b.fingerprint_into(h);
+            }
+            Phi::Or(a, b) => {
+                h.write_u8(8);
+                return a.fingerprint_into(h) && b.fingerprint_into(h);
+            }
+        }
+        true
+    }
+
     /// Whether `σ` satisfies the constraint.
     pub fn holds(&self, sys: &System, sigma: &State) -> Result<bool> {
         match self {

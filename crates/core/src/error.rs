@@ -52,6 +52,19 @@ pub enum Error {
     DuplicateObject(String),
     /// A constraint or proof premise was structurally invalid.
     Invalid(String),
+    /// A pair search exceeded its caller-imposed visited-pair budget
+    /// (see `Query::max_pairs`). Deterministic: both engines discover
+    /// pairs in the same order, so they exhaust at the same pair.
+    BudgetExhausted {
+        /// Pairs discovered when the budget tripped.
+        visited_pairs: u64,
+        /// The configured budget.
+        limit: u64,
+    },
+    /// A search ran past its caller-imposed deadline (see
+    /// `Query::timeout`). Checked once per BFS level / enumerated
+    /// history, so overshoot is bounded by one level's expansion.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for Error {
@@ -81,6 +94,14 @@ impl fmt::Display for Error {
             ),
             Error::DuplicateObject(name) => write!(f, "duplicate object `{name}`"),
             Error::Invalid(msg) => write!(f, "invalid input: {msg}"),
+            Error::BudgetExhausted {
+                visited_pairs,
+                limit,
+            } => write!(
+                f,
+                "search budget exhausted: {visited_pairs} pairs visited, limit {limit}"
+            ),
+            Error::DeadlineExceeded => write!(f, "search deadline exceeded"),
         }
     }
 }

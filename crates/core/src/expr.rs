@@ -12,7 +12,7 @@ use crate::universe::{ObjId, Universe};
 use crate::value::{Rights, Value};
 
 /// Binary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// Integer addition.
     Add,
@@ -67,7 +67,7 @@ impl fmt::Display for BinOp {
 }
 
 /// An expression evaluated against a state.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Expr {
     /// A literal value.
     Const(Value),

@@ -306,6 +306,76 @@ impl U64U64Map {
     }
 }
 
+/// Streaming 64-bit FNV-1a hasher.
+///
+/// Used wherever the workspace needs a *stable, canonical* content hash
+/// rather than a per-process randomized one: system registry keys in
+/// `sd-server` and [`crate::query::Query::fingerprint`] cache keys. It
+/// implements [`std::hash::Hasher`], so any `#[derive(Hash)]` type can
+/// feed it — but unlike the std `DefaultHasher`, the digest is specified
+/// (FNV-1a over the byte stream) and identical across processes and
+/// runs.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+impl Fnv64 {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// The digest so far.
+    pub fn digest(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64::new()
+    }
+}
+
+impl std::hash::Hasher for Fnv64 {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    // The std defaults feed native-endian bytes; pin little-endian so
+    // digests are identical across architectures, not just runs.
+    fn write_u8(&mut self, i: u8) {
+        self.write(&[i]);
+    }
+    fn write_u16(&mut self, i: u16) {
+        self.write(&i.to_le_bytes());
+    }
+    fn write_u32(&mut self, i: u32) {
+        self.write(&i.to_le_bytes());
+    }
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+    fn write_u128(&mut self, i: u128) {
+        self.write(&i.to_le_bytes());
+    }
+    fn write_usize(&mut self, i: usize) {
+        self.write(&(i as u64).to_le_bytes());
+    }
+    fn write_i64(&mut self, i: i64) {
+        self.write(&i.to_le_bytes());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

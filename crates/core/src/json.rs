@@ -1,0 +1,245 @@
+//! Minimal JSON writing: one escaper for the whole workspace.
+//!
+//! Three things in the workspace emit JSON — telemetry events
+//! ([`crate::telemetry::JsonLinesSink`]), the `sd-server` wire protocol,
+//! and its access log. Each is a flat object of scalars, so a full
+//! serialisation framework would be overkill; what must *not* be
+//! duplicated is the string escaper, because an unescaped quote in an
+//! object name is a protocol injection. [`JsonBuf`] is a push-style
+//! writer over a plain `String`: callers open objects/arrays, push
+//! fields, and take the finished line.
+//!
+//! The encoder writes exactly the JSON interchange subset: object keys
+//! in push order (callers keep a canonical order themselves), no
+//! whitespace, `\uXXXX` escapes only where required.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` as JSON string *content* (no surrounding quotes) into
+/// `buf`. Control characters use the two-character escapes where JSON
+/// defines them and `\u00XX` otherwise.
+pub fn escape_into(buf: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            '\u{08}' => buf.push_str("\\b"),
+            '\u{0c}' => buf.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+}
+
+/// A quoted, escaped JSON string.
+pub fn quote(s: &str) -> String {
+    let mut buf = String::with_capacity(s.len() + 2);
+    buf.push('"');
+    escape_into(&mut buf, s);
+    buf.push('"');
+    buf
+}
+
+/// A push-style JSON writer. Structural correctness (balanced
+/// open/close calls) is the caller's responsibility; comma placement is
+/// handled here.
+#[derive(Debug, Default)]
+pub struct JsonBuf {
+    buf: String,
+    /// Whether the next value at the current nesting level needs a
+    /// leading comma.
+    need_comma: bool,
+}
+
+impl JsonBuf {
+    /// An empty writer.
+    pub fn new() -> JsonBuf {
+        JsonBuf::default()
+    }
+
+    /// Current serialised text.
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning the serialised text.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+
+    fn comma(&mut self) {
+        if self.need_comma {
+            self.buf.push(',');
+        }
+        self.need_comma = false;
+    }
+
+    fn key(&mut self, k: &str) {
+        self.comma();
+        self.buf.push('"');
+        escape_into(&mut self.buf, k);
+        self.buf.push_str("\":");
+    }
+
+    /// Opens an object as the next value (top level or array element).
+    pub fn begin_obj(&mut self) -> &mut Self {
+        self.comma();
+        self.buf.push('{');
+        self
+    }
+
+    /// Opens an object-valued field.
+    pub fn begin_obj_field(&mut self, k: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push('{');
+        self.need_comma = false;
+        self
+    }
+
+    /// Closes the innermost object.
+    pub fn end_obj(&mut self) -> &mut Self {
+        self.buf.push('}');
+        self.need_comma = true;
+        self
+    }
+
+    /// Opens an array-valued field.
+    pub fn begin_arr_field(&mut self, k: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push('[');
+        self.need_comma = false;
+        self
+    }
+
+    /// Closes the innermost array.
+    pub fn end_arr(&mut self) -> &mut Self {
+        self.buf.push(']');
+        self.need_comma = true;
+        self
+    }
+
+    /// Pushes a string field.
+    pub fn str_field(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push('"');
+        escape_into(&mut self.buf, v);
+        self.buf.push('"');
+        self.need_comma = true;
+        self
+    }
+
+    /// Pushes an unsigned integer field.
+    pub fn u64_field(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self.need_comma = true;
+        self
+    }
+
+    /// Pushes a signed integer field.
+    pub fn i64_field(&mut self, k: &str, v: i64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self.need_comma = true;
+        self
+    }
+
+    /// Pushes a boolean field.
+    pub fn bool_field(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self.need_comma = true;
+        self
+    }
+
+    /// Pushes a field whose value is pre-serialised JSON, verbatim.
+    /// Serving layers use this to splice a cached answer into a fresh
+    /// response envelope without re-encoding (byte-identical replays).
+    pub fn raw_field(&mut self, k: &str, raw_json: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(raw_json);
+        self.need_comma = true;
+        self
+    }
+
+    /// Pushes a `null`-valued field.
+    pub fn null_field(&mut self, k: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str("null");
+        self.need_comma = true;
+        self
+    }
+
+    /// Pushes a string as the next array element.
+    pub fn str_elem(&mut self, v: &str) -> &mut Self {
+        self.comma();
+        self.buf.push('"');
+        escape_into(&mut self.buf, v);
+        self.buf.push('"');
+        self.need_comma = true;
+        self
+    }
+
+    /// Pushes a signed integer as the next array element.
+    pub fn i64_elem(&mut self, v: i64) -> &mut Self {
+        self.comma();
+        let _ = write!(self.buf, "{v}");
+        self.need_comma = true;
+        self
+    }
+
+    /// Opens an array as the next array element (nested arrays).
+    pub fn begin_arr_elem(&mut self) -> &mut Self {
+        self.comma();
+        self.buf.push('[');
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd\te\u{01}");
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\te\\u0001");
+        assert_eq!(quote("π ▷ β"), "\"π ▷ β\"");
+    }
+
+    #[test]
+    fn builds_nested_objects_and_arrays() {
+        let mut j = JsonBuf::new();
+        j.begin_obj()
+            .str_field("method", "sinks")
+            .u64_field("id", 7)
+            .bool_field("ok", true)
+            .i64_field("delta", -3);
+        j.begin_arr_field("rows");
+        j.begin_arr_elem()
+            .str_elem("alpha")
+            .str_elem("beta")
+            .end_arr();
+        j.begin_arr_elem().end_arr();
+        j.end_arr();
+        j.begin_obj_field("meta").u64_field("n", 1).end_obj();
+        j.end_obj();
+        assert_eq!(
+            j.finish(),
+            r#"{"method":"sinks","id":7,"ok":true,"delta":-3,"rows":[["alpha","beta"],[]],"meta":{"n":1}}"#
+        );
+    }
+
+    #[test]
+    fn keys_are_escaped_too() {
+        let mut j = JsonBuf::new();
+        j.begin_obj().str_field("we\"ird", "v").end_obj();
+        assert_eq!(j.finish(), r#"{"we\"ird":"v"}"#);
+    }
+}

@@ -43,6 +43,7 @@ pub mod fastmap;
 pub mod history;
 pub mod induction;
 pub mod inferential;
+pub mod json;
 pub mod mechanism;
 pub mod observe;
 pub mod op;
@@ -62,11 +63,13 @@ pub use crate::compiled::{CompileBudget, CompiledSystem, Engine, TableKind};
 pub use crate::constraint::{Phi, StateSet};
 pub use crate::error::{Error, Result};
 pub use crate::expr::{BinOp, Expr};
+pub use crate::fastmap::Fnv64;
 pub use crate::history::{History, OpId};
+pub use crate::json::JsonBuf;
 pub use crate::op::{Cmd, LValue, Op};
 pub use crate::oracle::{Oracle, OracleStats};
 pub use crate::query::{Query, QueryAnswer, QueryOutcome};
-pub use crate::reach::{DependsWitness, SearchStats};
+pub use crate::reach::{DependsWitness, SearchLimits, SearchStats};
 pub use crate::state::State;
 pub use crate::system::System;
 pub use crate::telemetry::{JsonLinesSink, NullSink, QueryEvent, QueryReport, RecordingSink, Sink};

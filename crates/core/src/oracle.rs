@@ -44,7 +44,8 @@ use crate::constraint::Phi;
 use crate::depend::{self, SatPartition};
 use crate::error::{Error, Result};
 use crate::reach::{
-    self, compiled_search, interpreted_search, DependsWitness, SearchBuffers, SearchStats,
+    self, compiled_search, interpreted_search, DependsWitness, SearchBuffers, SearchLimits,
+    SearchStats,
 };
 use crate::system::System;
 use crate::telemetry::{QueryEvent, Sink, Trace, TraceCounters};
@@ -323,22 +324,24 @@ impl<'s> Oracle<'s> {
         part: &SatPartition,
         found: impl FnMut(u64, u64) -> bool,
     ) -> Result<(Option<DependsWitness>, SearchStats)> {
-        let (witness, stats, _) = self.search_partition_at(part, self.sink_ref(), found)?;
+        let (witness, stats, _) =
+            self.search_partition_at(part, &SearchLimits::NONE, self.sink_ref(), found)?;
         Ok((witness, stats))
     }
 
-    /// [`Oracle::search_partition`] with an explicit sink and the
+    /// [`Oracle::search_partition`] with explicit limits and sink, and the
     /// search's hot-path counters returned for query reports.
     pub(crate) fn search_partition_at(
         &self,
         part: &SatPartition,
+        limits: &SearchLimits,
         sink: Option<&dyn Sink>,
         found: impl FnMut(u64, u64) -> bool,
     ) -> Result<(Option<DependsWitness>, SearchStats, TraceCounters)> {
         self.searches.fetch_add(1, Ordering::Relaxed);
         let mut trace = Trace::new(sink);
         let (witness, stats) = match &self.compiled {
-            None => interpreted_search(self.sys, part, &mut trace, found)?,
+            None => interpreted_search(self.sys, part, limits, &mut trace, found)?,
             Some(cs) => {
                 let mut bufs = self
                     .pool
@@ -346,7 +349,7 @@ impl<'s> Oracle<'s> {
                     .expect("buffer pool lock")
                     .pop()
                     .unwrap_or_else(|| SearchBuffers::new(self.ns, &self.budget));
-                let out = compiled_search(cs, part, &mut bufs, &mut trace, found);
+                let out = compiled_search(cs, part, &mut bufs, limits, &mut trace, found);
                 self.pool.lock().expect("buffer pool lock").push(bufs);
                 out?
             }
@@ -377,19 +380,21 @@ impl<'s> Oracle<'s> {
         part: &SatPartition,
         beta: ObjId,
     ) -> Result<(Option<DependsWitness>, SearchStats)> {
-        let (witness, stats, _) = self.depends_partition_at(part, beta, self.sink_ref())?;
+        let (witness, stats, _) =
+            self.depends_partition_at(part, beta, &SearchLimits::NONE, self.sink_ref())?;
         Ok((witness, stats))
     }
 
-    /// [`Oracle::depends_partition`] with an explicit sink and counters.
+    /// [`Oracle::depends_partition`] with explicit limits, sink and counters.
     pub(crate) fn depends_partition_at(
         &self,
         part: &SatPartition,
         beta: ObjId,
+        limits: &SearchLimits,
         sink: Option<&dyn Sink>,
     ) -> Result<(Option<DependsWitness>, SearchStats, TraceCounters)> {
         let (stride, dom) = reach::extractor(self.sys.universe(), beta);
-        self.search_partition_at(part, sink, move |c1, c2| {
+        self.search_partition_at(part, limits, sink, move |c1, c2| {
             (c1 / stride) % dom != (c2 / stride) % dom
         })
     }
@@ -419,15 +424,16 @@ impl<'s> Oracle<'s> {
 
     /// [`Oracle::sinks`] over an explicit partition.
     pub(crate) fn sinks_partition(&self, part: &SatPartition) -> Result<ObjSet> {
-        let (out, _, _) = self.sinks_partition_at(part, self.sink_ref())?;
+        let (out, _, _) = self.sinks_partition_at(part, &SearchLimits::NONE, self.sink_ref())?;
         Ok(out)
     }
 
-    /// [`Oracle::sinks_partition`] with an explicit sink, also returning
-    /// the search diagnostics and counters.
+    /// [`Oracle::sinks_partition`] with explicit limits and sink, also
+    /// returning the search diagnostics and counters.
     pub(crate) fn sinks_partition_at(
         &self,
         part: &SatPartition,
+        limits: &SearchLimits,
         sink: Option<&dyn Sink>,
     ) -> Result<(ObjSet, SearchStats, TraceCounters)> {
         let u = self.sys.universe();
@@ -441,7 +447,7 @@ impl<'s> Oracle<'s> {
         let total = extractors.len();
         let mut out = ObjSet::empty();
         let mut count = 0usize;
-        let (_, stats, counters) = self.search_partition_at(part, sink, |c1, c2| {
+        let (_, stats, counters) = self.search_partition_at(part, limits, sink, |c1, c2| {
             for &(obj, stride, dom) in &extractors {
                 if !out.contains(obj) && (c1 / stride) % dom != (c2 / stride) % dom {
                     out.insert(obj);
@@ -457,17 +463,20 @@ impl<'s> Oracle<'s> {
     /// Sat(φ) enumeration; rows run in parallel on scoped threads, each
     /// borrowing buffers from the pool.
     pub fn sinks_matrix(&self, phi: &Phi, sources: &[ObjSet]) -> Result<Vec<ObjSet>> {
-        let (rows, _, _) = self.sinks_matrix_at(phi, sources, self.sink_ref())?;
+        let (rows, _, _) =
+            self.sinks_matrix_at(phi, sources, &SearchLimits::NONE, self.sink_ref())?;
         Ok(rows)
     }
 
-    /// [`Oracle::sinks_matrix`] with an explicit sink, aggregating the
-    /// per-row diagnostics (summed pairs/counters, max depth) for the
-    /// query report.
+    /// [`Oracle::sinks_matrix`] with explicit limits and sink, aggregating
+    /// the per-row diagnostics (summed pairs/counters, max depth) for the
+    /// query report. The limits apply to each row's search independently;
+    /// the deadline is shared, so the whole matrix respects it.
     pub(crate) fn sinks_matrix_at(
         &self,
         phi: &Phi,
         sources: &[ObjSet],
+        limits: &SearchLimits,
         sink: Option<&dyn Sink>,
     ) -> Result<(Vec<ObjSet>, SearchStats, TraceCounters)> {
         let mut agg = SearchStats {
@@ -483,7 +492,7 @@ impl<'s> Oracle<'s> {
         let u = self.sys.universe();
         let row = |src: &ObjSet| -> Result<(ObjSet, SearchStats, TraceCounters)> {
             let part = SatPartition::from_codes(u, &codes, src);
-            self.sinks_partition_at(&part, sink)
+            self.sinks_partition_at(&part, limits, sink)
         };
         let chunked: Vec<Vec<Result<(ObjSet, SearchStats, TraceCounters)>>> =
             par_map_chunks(sources, 1, |chunk| chunk.iter().map(&row).collect());
@@ -508,8 +517,27 @@ impl<'s> Oracle<'s> {
         beta: ObjId,
         max_len: usize,
     ) -> Result<Option<DependsWitness>> {
+        self.depends_bounded_at(phi, a, beta, max_len, &SearchLimits::NONE)
+    }
+
+    /// [`Oracle::depends_bounded`] under [`SearchLimits`]: the deadline is
+    /// checked between enumerated histories (the pair budget does not
+    /// apply to bounded enumeration, which visits no pairs).
+    pub(crate) fn depends_bounded_at(
+        &self,
+        phi: &Phi,
+        a: &ObjSet,
+        beta: ObjId,
+        max_len: usize,
+        limits: &SearchLimits,
+    ) -> Result<Option<DependsWitness>> {
         let part = self.partition(phi, a)?;
         for h in crate::history::histories_up_to(self.sys.num_ops(), max_len) {
+            if let Some(d) = limits.deadline {
+                if std::time::Instant::now() >= d {
+                    return Err(Error::DeadlineExceeded);
+                }
+            }
             if let Some(w) = depend::strongly_depends_after_with(self.sys, &part, beta, &h)? {
                 return Ok(Some(DependsWitness {
                     history: h,

@@ -43,17 +43,19 @@
 //! # Ok::<(), sd_core::Error>(())
 //! ```
 
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::compiled::{CompileBudget, Engine, TableKind};
 use crate::constraint::Phi;
 use crate::error::{Error, Result};
+use crate::fastmap::Fnv64;
 use crate::oracle::Oracle;
-use crate::reach::{DependsWitness, SearchStats};
+use crate::reach::{DependsWitness, SearchLimits, SearchStats};
 use crate::system::System;
 use crate::telemetry::{QueryEvent, QueryReport, Sink};
-use crate::universe::{ObjId, ObjSet};
+use crate::universe::{ObjId, ObjSet, Universe};
 
 /// What a [`Query`] asks about its source set.
 #[derive(Debug, Clone)]
@@ -79,6 +81,7 @@ pub struct Query {
     bound: Option<usize>,
     engine: Engine,
     budget: CompileBudget,
+    limits: SearchLimits,
     sink: Option<Arc<dyn Sink>>,
 }
 
@@ -163,6 +166,7 @@ impl Query {
             bound: None,
             engine: Engine::Auto,
             budget: CompileBudget::default(),
+            limits: SearchLimits::NONE,
             sink: None,
         }
     }
@@ -219,6 +223,31 @@ impl Query {
         self
     }
 
+    /// Caps the pair search at `max_pairs` discovered pairs; exceeding
+    /// it returns [`Error::BudgetExhausted`]. Both engines discover
+    /// pairs in the same order, so the budget trips identically on
+    /// either. Goal pairs found at the budget boundary are still
+    /// reported.
+    pub fn max_pairs(mut self, max_pairs: u64) -> Query {
+        self.limits.max_pairs = Some(max_pairs);
+        self
+    }
+
+    /// Sets a wall-clock deadline `timeout` from now; a search running
+    /// past it returns [`Error::DeadlineExceeded`]. Checked once per
+    /// BFS level (or per enumerated history for bounded queries), so
+    /// overshoot is bounded by one level's expansion.
+    pub fn timeout(mut self, timeout: Duration) -> Query {
+        self.limits.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Sets an absolute wall-clock deadline (see [`Query::timeout`]).
+    pub fn deadline(mut self, deadline: Instant) -> Query {
+        self.limits.deadline = Some(deadline);
+        self
+    }
+
     /// Attaches a telemetry sink to this query. For one-shot runs the
     /// sink also observes the compile; for [`Query::run`] it overrides
     /// the Oracle's own sink on this query's events.
@@ -227,12 +256,93 @@ impl Query {
         self
     }
 
+    /// A canonical 64-bit fingerprint of the query's *semantic* content:
+    /// φ, A, the target shape, the history bound, and the pinned engine.
+    /// Tuning that cannot change a successful answer (compile budget,
+    /// search limits, telemetry sink) is excluded, which is what makes
+    /// the fingerprint usable as a result-cache key: a query that
+    /// *completes* returns the same answer under any limits.
+    ///
+    /// Returns `None` when φ contains a native [`Phi::Pred`] — closure
+    /// identity is not canonically hashable, so such queries are not
+    /// fingerprintable (and not cacheable).
+    ///
+    /// The hash is FNV-1a over a tagged little-endian encoding: stable
+    /// across processes, runs, and architectures.
+    pub fn fingerprint(&self) -> Option<u64> {
+        let mut h = Fnv64::new();
+        if !self.phi.fingerprint_into(&mut h) {
+            return None;
+        }
+        self.a.hash(&mut h);
+        match &self.target {
+            Target::Sinks => h.write_u8(1),
+            Target::Beta(beta) => {
+                h.write_u8(2);
+                beta.hash(&mut h);
+            }
+            Target::Set(b) => {
+                h.write_u8(3);
+                b.hash(&mut h);
+            }
+            Target::Matrix(sources) => {
+                h.write_u8(4);
+                h.write_u64(sources.len() as u64);
+                for s in sources {
+                    s.hash(&mut h);
+                }
+            }
+        }
+        match self.bound {
+            None => h.write_u8(0),
+            Some(n) => {
+                h.write_u8(1);
+                h.write_u64(n as u64);
+            }
+        }
+        h.write_u8(match self.engine {
+            Engine::Auto => 0,
+            Engine::Interpreted => 1,
+            Engine::CompiledDense => 2,
+            Engine::CompiledSparse => 3,
+        });
+        Some(h.digest())
+    }
+
+    /// Checks every object id the query mentions against the universe,
+    /// so untrusted input yields [`Error::UnknownObject`] instead of an
+    /// out-of-bounds panic deep in the pair search.
+    fn validate(&self, u: &Universe) -> Result<()> {
+        let n = u.num_objects();
+        let check_set = |set: &ObjSet| -> Result<()> {
+            for obj in set.iter() {
+                if obj.index() >= n {
+                    return Err(Error::UnknownObject(format!("#{}", obj.index())));
+                }
+            }
+            Ok(())
+        };
+        check_set(&self.a)?;
+        match &self.target {
+            Target::Sinks => Ok(()),
+            Target::Beta(beta) => {
+                if beta.index() >= n {
+                    return Err(Error::UnknownObject(format!("#{}", beta.index())));
+                }
+                Ok(())
+            }
+            Target::Set(b) => check_set(b),
+            Target::Matrix(sources) => sources.iter().try_for_each(check_set),
+        }
+    }
+
     /// Runs one-shot: builds a short-lived [`Oracle`] for this query
     /// (one compile, one Sat(φ) enumeration) and executes against it.
     pub fn run_on(&self, sys: &System) -> Result<QueryOutcome> {
         // Shortcuts that never need an oracle — identical to the
         // historical free-function behaviour of returning before any
         // compile happens.
+        self.validate(sys.universe())?;
         if let Some(out) = self.trivial_outcome() {
             return Ok(out);
         }
@@ -262,6 +372,7 @@ impl Query {
                 oracle.engine_name(),
             )));
         }
+        self.validate(oracle.system().universe())?;
         if let Some(out) = self.trivial_outcome() {
             return Ok(out);
         }
@@ -293,7 +404,8 @@ impl Query {
         let start = Instant::now();
         let (answer, stats, counters) = match (&self.target, self.bound) {
             (Target::Beta(beta), Some(max_len)) => {
-                let witness = oracle.depends_bounded(&self.phi, &self.a, *beta, max_len)?;
+                let witness =
+                    oracle.depends_bounded_at(&self.phi, &self.a, *beta, max_len, &self.limits)?;
                 (QueryAnswer::Depends(witness), None, Default::default())
             }
             (_, Some(_)) => {
@@ -303,7 +415,8 @@ impl Query {
             }
             (Target::Beta(beta), None) => {
                 let part = oracle.partition_at(&self.phi, &self.a, sink)?;
-                let (witness, stats, counters) = oracle.depends_partition_at(&part, *beta, sink)?;
+                let (witness, stats, counters) =
+                    oracle.depends_partition_at(&part, *beta, &self.limits, sink)?;
                 (QueryAnswer::Depends(witness), Some(stats), counters)
             }
             (Target::Set(b), None) => {
@@ -314,7 +427,7 @@ impl Query {
                     .collect();
                 let part = oracle.partition_at(&self.phi, &self.a, sink)?;
                 let (witness, stats, counters) =
-                    oracle.search_partition_at(&part, sink, move |c1, c2| {
+                    oracle.search_partition_at(&part, &self.limits, sink, move |c1, c2| {
                         targets
                             .iter()
                             .all(|&(stride, dom)| (c1 / stride) % dom != (c2 / stride) % dom)
@@ -323,11 +436,13 @@ impl Query {
             }
             (Target::Sinks, None) => {
                 let part = oracle.partition_at(&self.phi, &self.a, sink)?;
-                let (set, stats, counters) = oracle.sinks_partition_at(&part, sink)?;
+                let (set, stats, counters) =
+                    oracle.sinks_partition_at(&part, &self.limits, sink)?;
                 (QueryAnswer::Sinks(set), Some(stats), counters)
             }
             (Target::Matrix(sources), None) => {
-                let (rows, stats, counters) = oracle.sinks_matrix_at(&self.phi, sources, sink)?;
+                let (rows, stats, counters) =
+                    oracle.sinks_matrix_at(&self.phi, sources, &self.limits, sink)?;
                 (QueryAnswer::Matrix(rows), Some(stats), counters)
             }
         };

@@ -85,6 +85,58 @@ pub struct SearchStats {
     pub levels: u32,
 }
 
+/// Caller-imposed cut-offs on one pair search: a visited-pair budget
+/// and/or a wall-clock deadline. The default imposes neither.
+///
+/// Both cut-offs yield *structured* errors ([`Error::BudgetExhausted`],
+/// [`Error::DeadlineExceeded`]) rather than partial answers, so a
+/// serving layer can refuse work deterministically. The budget is
+/// engine-independent: both engines discover pairs in the same order,
+/// so they exhaust at the same pair. The deadline is checked once per
+/// BFS level (or per enumerated history for bounded queries), bounding
+/// overshoot by a single level's expansion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchLimits {
+    /// Maximum distinct pairs the search may discover. A pair that
+    /// satisfies the goal is always reported, even as the last one in
+    /// budget.
+    pub max_pairs: Option<u64>,
+    /// Wall-clock deadline for the search.
+    pub deadline: Option<std::time::Instant>,
+}
+
+impl SearchLimits {
+    /// No limits: run to completion.
+    pub const NONE: SearchLimits = SearchLimits {
+        max_pairs: None,
+        deadline: None,
+    };
+
+    /// Whether any cut-off is configured.
+    pub fn is_none(&self) -> bool {
+        self.max_pairs.is_none() && self.deadline.is_none()
+    }
+
+    #[inline]
+    fn check_deadline(&self) -> Result<()> {
+        match self.deadline {
+            Some(d) if std::time::Instant::now() >= d => Err(Error::DeadlineExceeded),
+            _ => Ok(()),
+        }
+    }
+
+    #[inline]
+    fn check_pairs(&self, visited: u64) -> Result<()> {
+        match self.max_pairs {
+            Some(limit) if visited > limit => Err(Error::BudgetExhausted {
+                visited_pairs: visited,
+                limit,
+            }),
+            _ => Ok(()),
+        }
+    }
+}
+
 /// Canonically ordered pair of encoded states.
 type Pair = (u64, u64);
 
@@ -129,6 +181,7 @@ fn bump_depth(counts: &mut Vec<u64>, depth: usize) {
 pub(crate) fn interpreted_search(
     sys: &System,
     part: &SatPartition,
+    limits: &SearchLimits,
     trace: &mut Trace<'_>,
     mut found: impl FnMut(u64, u64) -> bool,
 ) -> Result<(Option<DependsWitness>, SearchStats)> {
@@ -166,6 +219,7 @@ pub(crate) fn interpreted_search(
         }
     };
     let mut levels = 0u32;
+    limits.check_deadline()?;
     for p in initial_pairs(part) {
         if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(p) {
             e.insert(None);
@@ -182,10 +236,18 @@ pub(crate) fn interpreted_search(
                 trace.emit(|| QueryEvent::Witness { length: levels });
                 return Ok((Some(w), stats));
             }
+            limits.check_pairs(parent.len() as u64)?;
             queue.push_back((p, 0));
         }
     }
+    // Deadline granularity: once per BFS depth, matching the compiled
+    // engine's per-level check.
+    let mut deadline_depth: i64 = -1;
     while let Some((pair, depth)) = queue.pop_front() {
+        if i64::from(depth) > deadline_depth {
+            deadline_depth = i64::from(depth);
+            limits.check_deadline()?;
+        }
         if tracing && i64::from(depth) > last_level {
             last_level = i64::from(depth);
             trace.emit(|| QueryEvent::BfsLevel {
@@ -223,6 +285,7 @@ pub(crate) fn interpreted_search(
                     trace.emit(|| QueryEvent::Witness { length: levels });
                     return Ok((Some(w), stats));
                 }
+                limits.check_pairs(parent.len() as u64)?;
                 queue.push_back((next, depth + 1));
             }
         }
@@ -356,6 +419,7 @@ pub(crate) fn compiled_search(
     cs: &CompiledSystem<'_>,
     part: &SatPartition,
     bufs: &mut SearchBuffers,
+    limits: &SearchLimits,
     trace: &mut Trace<'_>,
     mut found: impl FnMut(u64, u64) -> bool,
 ) -> Result<(Option<DependsWitness>, SearchStats)> {
@@ -385,6 +449,7 @@ pub(crate) fn compiled_search(
         }
     }
     roots.sort_unstable();
+    limits.check_deadline()?;
     for key in roots {
         if !visited.insert(key) {
             continue;
@@ -399,6 +464,7 @@ pub(crate) fn compiled_search(
             trace.emit(|| QueryEvent::Witness { length: 0 });
             return Ok((Some(reconstruct_compiled(u, nodes, idx, ns)), stats));
         }
+        limits.check_pairs(nodes.len() as u64)?;
     }
 
     let mut lo = 0usize;
@@ -406,6 +472,7 @@ pub(crate) fn compiled_search(
     let mut levels = 0u32;
     while lo < nodes.len() {
         let hi = nodes.len();
+        limits.check_deadline()?;
         trace.emit(|| QueryEvent::BfsLevel {
             level: depth,
             frontier: (hi - lo) as u64,
@@ -509,6 +576,7 @@ pub(crate) fn compiled_search(
                     trace.emit(|| QueryEvent::Witness { length: levels });
                     return Ok((Some(reconstruct_compiled(u, nodes, idx, ns)), stats));
                 }
+                limits.check_pairs(nodes.len() as u64)?;
             }
         }
     }
@@ -1022,15 +1090,28 @@ mod tests {
                 // index keeps the sweep exhaustive.
                 let part = SatPartition::new(&sys, &Phi::True, &a).unwrap();
                 if engine == Engine::Interpreted {
-                    interpreted_search(&sys, &part, &mut Trace::disabled(), |_, _| false)
-                        .unwrap()
-                        .1
+                    interpreted_search(
+                        &sys,
+                        &part,
+                        &SearchLimits::NONE,
+                        &mut Trace::disabled(),
+                        |_, _| false,
+                    )
+                    .unwrap()
+                    .1
                 } else {
                     let cs = CompiledSystem::compile(&sys, engine, &budget).unwrap();
                     let mut bufs = SearchBuffers::new(ns, &budget);
-                    compiled_search(&cs, &part, &mut bufs, &mut Trace::disabled(), |_, _| false)
-                        .unwrap()
-                        .1
+                    compiled_search(
+                        &cs,
+                        &part,
+                        &mut bufs,
+                        &SearchLimits::NONE,
+                        &mut Trace::disabled(),
+                        |_, _| false,
+                    )
+                    .unwrap()
+                    .1
                 }
             })
             .collect();
@@ -1060,12 +1141,24 @@ mod tests {
                     let goal =
                         |c1: u64, c2: u64| (c1 / b_stride) % b_dom != (c2 / b_stride) % b_dom;
                     let mut fresh = SearchBuffers::new(ns, &budget);
-                    let want =
-                        compiled_search(&cs, &part, &mut fresh, &mut Trace::disabled(), goal)
-                            .unwrap();
-                    let got =
-                        compiled_search(&cs, &part, &mut reused, &mut Trace::disabled(), goal)
-                            .unwrap();
+                    let want = compiled_search(
+                        &cs,
+                        &part,
+                        &mut fresh,
+                        &SearchLimits::NONE,
+                        &mut Trace::disabled(),
+                        goal,
+                    )
+                    .unwrap();
+                    let got = compiled_search(
+                        &cs,
+                        &part,
+                        &mut reused,
+                        &SearchLimits::NONE,
+                        &mut Trace::disabled(),
+                        goal,
+                    )
+                    .unwrap();
                     assert_eq!(got.1, want.1, "stats diverge for {src} / {engine:?}");
                     assert_eq!(
                         got.0.map(|w| (w.history, w.sigma1, w.sigma2)),
@@ -1074,16 +1167,24 @@ mod tests {
                     );
                     // Exhaustive search.
                     let mut fresh = SearchBuffers::new(ns, &budget);
-                    let want =
-                        compiled_search(&cs, &part, &mut fresh, &mut Trace::disabled(), |_, _| {
-                            false
-                        })
-                        .unwrap();
-                    let got =
-                        compiled_search(&cs, &part, &mut reused, &mut Trace::disabled(), |_, _| {
-                            false
-                        })
-                        .unwrap();
+                    let want = compiled_search(
+                        &cs,
+                        &part,
+                        &mut fresh,
+                        &SearchLimits::NONE,
+                        &mut Trace::disabled(),
+                        |_, _| false,
+                    )
+                    .unwrap();
+                    let got = compiled_search(
+                        &cs,
+                        &part,
+                        &mut reused,
+                        &SearchLimits::NONE,
+                        &mut Trace::disabled(),
+                        |_, _| false,
+                    )
+                    .unwrap();
                     assert_eq!(got.1, want.1, "exhaustive stats diverge for {src}");
                 }
             }

@@ -38,6 +38,8 @@
 use std::io::Write;
 use std::sync::Mutex;
 
+use crate::json::JsonBuf;
+
 /// One observable moment in the life of a query. All variants are
 /// `Copy` and carry only scalars: recording an event never allocates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +89,18 @@ pub enum QueryEvent {
         /// Length of the witness history.
         length: u32,
     },
+    /// A serving-layer result cache answered a query without searching.
+    /// Emitted by caches built *on top of* the query machinery (e.g.
+    /// `sd-server`), never by the Oracle itself.
+    ResultCacheHit {
+        /// Canonical query fingerprint ([`crate::query::Query::fingerprint`]).
+        key: u64,
+    },
+    /// A serving-layer result cache missed and the query ran for real.
+    ResultCacheMiss {
+        /// Canonical query fingerprint ([`crate::query::Query::fingerprint`]).
+        key: u64,
+    },
     /// A [`crate::query::Query`] run finished; the final accounting.
     QueryDone {
         /// The per-query cost report.
@@ -129,6 +143,21 @@ pub struct QueryReport {
 }
 
 impl QueryReport {
+    /// Pushes this report's fields (flat, canonical order) onto an open
+    /// JSON object. The access log of `sd-server` and
+    /// [`QueryEvent::QueryDone`] share this one encoding.
+    pub fn json_fields(&self, j: &mut JsonBuf) {
+        j.str_field("engine", self.engine)
+            .u64_field("wall_ns", self.wall_ns)
+            .u64_field("visited_pairs", self.visited_pairs)
+            .u64_field("pair_expansions", self.pair_expansions)
+            .u64_field("levels", u64::from(self.levels))
+            .bool_field("partition_cached", self.partition_cached)
+            .bool_field("fresh_compile", self.fresh_compile)
+            .u64_field("rows_reused", self.rows_reused)
+            .u64_field("rows_materialized", self.rows_materialized);
+    }
+
     pub(crate) fn empty(engine: &'static str) -> QueryReport {
         QueryReport {
             engine,
@@ -147,56 +176,67 @@ impl QueryReport {
 impl QueryEvent {
     /// Serialises the event as one self-contained JSON object (no
     /// trailing newline). The schema is flat: an `"event"` tag plus the
-    /// variant's scalar fields.
+    /// variant's scalar fields. Encoding goes through the workspace's
+    /// single JSON writer ([`crate::json`]).
     pub fn to_json(&self) -> String {
+        let mut j = JsonBuf::new();
+        j.begin_obj();
         match *self {
             QueryEvent::CompileStart { states, ops } => {
-                format!(r#"{{"event":"compile_start","states":{states},"ops":{ops}}}"#)
+                j.str_field("event", "compile_start")
+                    .u64_field("states", states)
+                    .u64_field("ops", ops);
             }
             QueryEvent::CompileFinish { kind, wall_ns } => {
-                format!(r#"{{"event":"compile_finish","kind":"{kind}","wall_ns":{wall_ns}}}"#)
+                j.str_field("event", "compile_finish")
+                    .str_field("kind", kind)
+                    .u64_field("wall_ns", wall_ns);
             }
             QueryEvent::PartitionHit { states } => {
-                format!(r#"{{"event":"partition_hit","states":{states}}}"#)
+                j.str_field("event", "partition_hit")
+                    .u64_field("states", states);
             }
             QueryEvent::PartitionMiss { states } => {
-                format!(r#"{{"event":"partition_miss","states":{states}}}"#)
+                j.str_field("event", "partition_miss")
+                    .u64_field("states", states);
             }
             QueryEvent::BfsLevel {
                 level,
                 frontier,
                 visited,
             } => {
-                format!(
-                    r#"{{"event":"bfs_level","level":{level},"frontier":{frontier},"visited":{visited}}}"#
-                )
+                j.str_field("event", "bfs_level")
+                    .u64_field("level", u64::from(level))
+                    .u64_field("frontier", frontier)
+                    .u64_field("visited", visited);
             }
             QueryEvent::MemoRows {
                 reused,
                 materialized,
             } => {
-                format!(
-                    r#"{{"event":"memo_rows","reused":{reused},"materialized":{materialized}}}"#
-                )
+                j.str_field("event", "memo_rows")
+                    .u64_field("reused", reused)
+                    .u64_field("materialized", materialized);
             }
             QueryEvent::Witness { length } => {
-                format!(r#"{{"event":"witness","length":{length}}}"#)
+                j.str_field("event", "witness")
+                    .u64_field("length", u64::from(length));
+            }
+            QueryEvent::ResultCacheHit { key } => {
+                j.str_field("event", "result_cache_hit")
+                    .u64_field("key", key);
+            }
+            QueryEvent::ResultCacheMiss { key } => {
+                j.str_field("event", "result_cache_miss")
+                    .u64_field("key", key);
             }
             QueryEvent::QueryDone { report } => {
-                format!(
-                    r#"{{"event":"query_done","engine":"{}","wall_ns":{},"visited_pairs":{},"pair_expansions":{},"levels":{},"partition_cached":{},"fresh_compile":{},"rows_reused":{},"rows_materialized":{}}}"#,
-                    report.engine,
-                    report.wall_ns,
-                    report.visited_pairs,
-                    report.pair_expansions,
-                    report.levels,
-                    report.partition_cached,
-                    report.fresh_compile,
-                    report.rows_reused,
-                    report.rows_materialized,
-                )
+                j.str_field("event", "query_done");
+                report.json_fields(&mut j);
             }
         }
+        j.end_obj();
+        j.finish()
     }
 }
 

@@ -20,6 +20,7 @@ pub mod error;
 pub mod eval;
 pub mod floyd;
 pub mod parser;
+pub mod phi;
 pub mod token;
 
 pub use crate::ast::{Expr, Program, Stmt, Type};
@@ -28,3 +29,4 @@ pub use crate::error::{LangError, Result};
 pub use crate::eval::{run, Env, Val};
 pub use crate::floyd::{prove_no_flow, verify_assertions, Assertions};
 pub use crate::parser::{parse, parse_expr};
+pub use crate::phi::lower_phi;

@@ -1,0 +1,566 @@
+//! The TCP daemon: accept loop, bounded admission queue, fixed worker
+//! pool, graceful shutdown.
+//!
+//! # Threading model
+//!
+//! - One **accept thread** polls a non-blocking listener and spawns a
+//!   thread per connection (connections are cheap: they block on reads).
+//! - Each **connection thread** reads bounded JSON lines, answers
+//!   control methods (`ping`, `register`, `stats`, `shutdown`) inline,
+//!   and submits query work to a bounded [`mpsc::sync_channel`]. A full
+//!   queue is an immediate `overloaded` error — the client backs off,
+//!   the server never buffers unbounded work.
+//! - A **fixed pool** of worker threads drains the queue, runs
+//!   [`engine::execute_query`], and replies over a per-request channel.
+//!
+//! # Graceful shutdown
+//!
+//! `shutdown` (request or [`ServeHandle::shutdown`]) flips a flag and
+//! closes the job queue's sender side. Workers finish every job already
+//! admitted (the drain), then exit; new queries are refused with
+//! `shutting_down`; the accept thread stops on its next poll. In-flight
+//! requests therefore complete normally while the server drains — the
+//! robustness property the e2e tests pin.
+
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sd_core::{CompileBudget, JsonBuf, Sink};
+
+use crate::cache::ResultCache;
+use crate::engine::{self, ExecOutcome};
+use crate::proto::{self, ErrorKind, QueryReq, Request, WireError, MAX_FRAME};
+use crate::registry::{Registry, SystemEntry};
+
+/// Server tuning knobs. [`Config::default`] is suitable for tests and
+/// small deployments: loopback, four workers, a 64-deep queue.
+pub struct Config {
+    /// Bind address (`"127.0.0.1:0"` picks a free port).
+    pub addr: String,
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Bounded admission-queue depth; a full queue refuses work.
+    pub queue_depth: usize,
+    /// Maximum registered systems (entries live for the process).
+    pub registry_cap: usize,
+    /// Result-cache capacity in answers (0 disables caching).
+    pub cache_cap: usize,
+    /// Maximum request-line length in bytes.
+    pub max_frame: usize,
+    /// Cap — and default — for per-request deadlines.
+    pub max_timeout: Duration,
+    /// Compile budget for registered systems.
+    pub budget: CompileBudget,
+    /// Telemetry sink observing compiles, searches and cache events.
+    pub sink: Option<Arc<dyn Sink>>,
+    /// JSON-lines access log (one line per request).
+    pub access_log: Option<Box<dyn Write + Send>>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_depth: 64,
+            registry_cap: 16,
+            cache_cap: 1024,
+            max_frame: MAX_FRAME,
+            max_timeout: Duration::from_secs(30),
+            budget: CompileBudget::default(),
+            sink: None,
+            access_log: None,
+        }
+    }
+}
+
+/// Aggregate request counters, surfaced by `stats`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests parsed (including failed ones).
+    pub requests: u64,
+    /// Error responses sent.
+    pub errors: u64,
+    /// Queries currently executing in the worker pool.
+    pub inflight: u64,
+}
+
+struct Shared {
+    registry: Registry,
+    cache: ResultCache,
+    sink: Option<Arc<dyn Sink>>,
+    access: Option<Mutex<Box<dyn Write + Send>>>,
+    max_frame: usize,
+    max_timeout: Duration,
+    shutdown: AtomicBool,
+    jobs: Mutex<Option<SyncSender<Job>>>,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    inflight: AtomicU64,
+}
+
+struct Job {
+    entry: Arc<SystemEntry>,
+    req: QueryReq,
+    reply: mpsc::SyncSender<Result<ExecOutcome, WireError>>,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Closing the sender lets workers drain the queue and exit.
+        self.jobs.lock().expect("jobs lock").take();
+    }
+
+    fn log_access(&self, method: &str, id: Option<u64>, outcome: &RequestLog) {
+        let Some(access) = &self.access else { return };
+        let mut j = JsonBuf::new();
+        j.begin_obj().str_field("event", "request");
+        match id {
+            Some(id) => j.u64_field("id", id),
+            None => j.null_field("id"),
+        };
+        j.str_field("method", method);
+        match outcome {
+            RequestLog::Ok { cached, wall_ns } => {
+                j.bool_field("ok", true).bool_field("cached", *cached);
+                j.u64_field("wall_ns", *wall_ns);
+            }
+            RequestLog::Err { kind } => {
+                j.bool_field("ok", false).str_field("error", kind.as_str());
+            }
+        }
+        j.end_obj();
+        let mut out = access.lock().expect("access log lock");
+        let _ = writeln!(out, "{}", j.finish());
+        let _ = out.flush();
+    }
+}
+
+enum RequestLog {
+    Ok { cached: bool, wall_ns: u64 },
+    Err { kind: ErrorKind },
+}
+
+/// A handle to a running server: its bound address and the means to
+/// stop it.
+pub struct ServeHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// Binds, spawns the accept thread and worker pool, and returns
+    /// immediately.
+    pub fn spawn(cfg: Config) -> std::io::Result<ServeHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_depth.max(1));
+        let shared = Arc::new(Shared {
+            registry: Registry::new(cfg.registry_cap, cfg.budget, cfg.sink.clone()),
+            cache: ResultCache::new(cfg.cache_cap),
+            sink: cfg.sink,
+            access: cfg.access_log.map(Mutex::new),
+            max_frame: cfg.max_frame,
+            max_timeout: cfg.max_timeout,
+            shutdown: AtomicBool::new(false),
+            jobs: Mutex::new(Some(tx)),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+        });
+        let mut threads = Vec::new();
+        // Worker pool: shared receiver behind a mutex (std mpsc is
+        // single-consumer; the hand-off cost is dwarfed by the search).
+        let rx = Arc::new(Mutex::new(rx));
+        for _ in 0..cfg.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || worker_loop(&rx, &shared)));
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || accept_loop(listener, &shared)));
+        }
+        Ok(ServeHandle {
+            addr,
+            shared,
+            threads,
+        })
+    }
+
+    /// The bound socket address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry, for in-process inspection in tests.
+    pub fn registry(&self) -> &Registry {
+        &self.shared.registry
+    }
+
+    /// Result-cache counters.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Begins graceful shutdown and joins the accept thread and worker
+    /// pool (queued queries complete first). Connection threads exit as
+    /// their clients disconnect or issue their next request.
+    pub fn shutdown(mut self) {
+        self.shared.begin_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until the server shuts down (via a `shutdown` request).
+    pub fn wait(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<Job>>>, shared: &Arc<Shared>) {
+    loop {
+        let job = match rx.lock().expect("worker rx lock").recv() {
+            Ok(job) => job,
+            Err(_) => return, // sender closed: drained, exit
+        };
+        shared.inflight.fetch_add(1, Ordering::SeqCst);
+        let result = engine::execute_query(
+            &job.entry,
+            &shared.cache,
+            shared.sink.as_ref(),
+            &job.req,
+            shared.max_timeout,
+        );
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        let _ = job.reply.send(result);
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.shutting_down() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // One request-response per round trip: Nagle + delayed
+                // ACK would add ~40ms to every reply.
+                stream.set_nodelay(true).ok();
+                shared.connections.fetch_add(1, Ordering::SeqCst);
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || {
+                    let _ = serve_conn(stream, &shared);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Reads one newline-terminated line of at most `max` bytes. Returns
+/// `Ok(None)` on a clean EOF, `Err(Some(err))` when the line was too
+/// long (the rest of the line is consumed so the connection stays
+/// usable).
+fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    max: usize,
+) -> std::io::Result<Result<Option<String>, WireError>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflow = false;
+    loop {
+        let mut byte = [0u8; 1];
+        let n = loop {
+            match reader.read(&mut byte) {
+                Ok(n) => break n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        if n == 0 {
+            if buf.is_empty() && !overflow {
+                return Ok(Ok(None));
+            }
+            break;
+        }
+        if byte[0] == b'\n' {
+            break;
+        }
+        if buf.len() >= max {
+            overflow = true;
+            buf.clear(); // keep consuming to the newline, discard payload
+            continue;
+        }
+        buf.push(byte[0]);
+    }
+    if overflow {
+        return Ok(Err(WireError::new(
+            ErrorKind::TooLarge,
+            format!("frame exceeds limit of {max} bytes"),
+        )));
+    }
+    match String::from_utf8(buf) {
+        Ok(mut s) => {
+            if s.ends_with('\r') {
+                s.pop();
+            }
+            Ok(Ok(Some(s)))
+        }
+        Err(_) => Ok(Err(WireError::new(
+            ErrorKind::Parse,
+            "request is not valid UTF-8",
+        ))),
+    }
+}
+
+fn stats_response(shared: &Shared, id: Option<u64>) -> String {
+    let cache = shared.cache.stats();
+    let mut j = JsonBuf::new();
+    j.begin_obj();
+    match id {
+        Some(id) => j.u64_field("id", id),
+        None => j.null_field("id"),
+    };
+    j.bool_field("ok", true);
+    j.begin_obj_field("cache")
+        .u64_field("hits", cache.hits)
+        .u64_field("misses", cache.misses)
+        .u64_field("insertions", cache.insertions)
+        .u64_field("evictions", cache.evictions)
+        .u64_field("entries", cache.entries)
+        .u64_field("capacity", cache.capacity)
+        .end_obj();
+    j.u64_field("connections", shared.connections.load(Ordering::SeqCst))
+        .u64_field("requests", shared.requests.load(Ordering::SeqCst))
+        .u64_field("errors", shared.errors.load(Ordering::SeqCst))
+        .u64_field("inflight", shared.inflight.load(Ordering::SeqCst));
+    j.begin_arr_field("systems");
+    for (key, desc) in shared.registry.list() {
+        j.begin_obj()
+            .u64_field("system", key)
+            .str_field("desc", &desc)
+            .end_obj();
+    }
+    j.end_arr();
+    j.end_obj();
+    j.finish()
+}
+
+fn register_response(shared: &Shared, id: Option<u64>, entry: &SystemEntry) -> String {
+    let u = entry.system.universe();
+    let mut j = JsonBuf::new();
+    j.begin_obj();
+    match id {
+        Some(id) => j.u64_field("id", id),
+        None => j.null_field("id"),
+    };
+    j.bool_field("ok", true)
+        .u64_field("system", entry.key)
+        .str_field("desc", &entry.desc);
+    j.begin_arr_field("objects");
+    for obj in u.objects() {
+        j.str_elem(u.name(obj));
+    }
+    j.end_arr();
+    j.end_obj();
+    let _ = shared; // symmetric signature with stats_response
+    j.finish()
+}
+
+fn handle_query(shared: &Shared, id: Option<u64>, req: QueryReq) -> (String, RequestLog) {
+    if shared.shutting_down() {
+        let err = WireError::new(ErrorKind::ShuttingDown, "server is draining");
+        return (
+            proto::encode_error(id, &err),
+            RequestLog::Err { kind: err.kind },
+        );
+    }
+    let Some(entry) = shared.registry.get(req.system) else {
+        let err = WireError::new(
+            ErrorKind::UnknownSystem,
+            format!("system {} is not registered", req.system),
+        );
+        return (
+            proto::encode_error(id, &err),
+            RequestLog::Err { kind: err.kind },
+        );
+    };
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    let job = Job {
+        entry,
+        req,
+        reply: reply_tx,
+    };
+    let submit = {
+        let guard = shared.jobs.lock().expect("jobs lock");
+        match &*guard {
+            Some(tx) => tx.try_send(job),
+            None => Err(TrySendError::Disconnected(job)),
+        }
+    };
+    let err = match submit {
+        Ok(()) => match reply_rx.recv() {
+            Ok(Ok(out)) => {
+                let line = proto::encode_query_ok(id, &out.answer, out.cached, out.report.as_ref());
+                let wall_ns = out.report.map_or(0, |r| r.wall_ns);
+                return (
+                    line,
+                    RequestLog::Ok {
+                        cached: out.cached,
+                        wall_ns,
+                    },
+                );
+            }
+            Ok(Err(err)) => err,
+            Err(_) => WireError::new(ErrorKind::ShuttingDown, "worker pool stopped"),
+        },
+        Err(TrySendError::Full(_)) => {
+            WireError::new(ErrorKind::Overloaded, "admission queue full; retry later")
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            WireError::new(ErrorKind::ShuttingDown, "server is draining")
+        }
+    };
+    (
+        proto::encode_error(id, &err),
+        RequestLog::Err { kind: err.kind },
+    )
+}
+
+fn serve_conn(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_bounded_line(&mut reader, shared.max_frame)? {
+            Ok(None) => return Ok(()), // clean disconnect
+            Ok(Some(line)) => line,
+            Err(err) => {
+                shared.requests.fetch_add(1, Ordering::SeqCst);
+                shared.errors.fetch_add(1, Ordering::SeqCst);
+                shared.log_access("?", None, &RequestLog::Err { kind: err.kind });
+                writeln!(writer, "{}", proto::encode_error(None, &err))?;
+                continue;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        shared.requests.fetch_add(1, Ordering::SeqCst);
+        let start = Instant::now();
+        let frame = match proto::parse_frame(&line) {
+            Ok(frame) => frame,
+            Err(err) => {
+                shared.errors.fetch_add(1, Ordering::SeqCst);
+                shared.log_access("?", None, &RequestLog::Err { kind: err.kind });
+                writeln!(writer, "{}", proto::encode_error(None, &err))?;
+                continue;
+            }
+        };
+        let id = frame.id;
+        let (response, log, method) = match frame.req {
+            Request::Ping => {
+                let mut j = JsonBuf::new();
+                j.begin_obj();
+                match id {
+                    Some(id) => j.u64_field("id", id),
+                    None => j.null_field("id"),
+                };
+                j.bool_field("ok", true).bool_field("pong", true).end_obj();
+                (
+                    j.finish(),
+                    RequestLog::Ok {
+                        cached: false,
+                        wall_ns: start.elapsed().as_nanos() as u64,
+                    },
+                    "ping",
+                )
+            }
+            Request::Stats => (
+                stats_response(shared, id),
+                RequestLog::Ok {
+                    cached: false,
+                    wall_ns: start.elapsed().as_nanos() as u64,
+                },
+                "stats",
+            ),
+            Request::Shutdown => {
+                shared.begin_shutdown();
+                let mut j = JsonBuf::new();
+                j.begin_obj();
+                match id {
+                    Some(id) => j.u64_field("id", id),
+                    None => j.null_field("id"),
+                };
+                j.bool_field("ok", true)
+                    .bool_field("shutting_down", true)
+                    .end_obj();
+                (
+                    j.finish(),
+                    RequestLog::Ok {
+                        cached: false,
+                        wall_ns: start.elapsed().as_nanos() as u64,
+                    },
+                    "shutdown",
+                )
+            }
+            Request::Register(desc) => {
+                if shared.shutting_down() {
+                    let err = WireError::new(ErrorKind::ShuttingDown, "server is draining");
+                    (
+                        proto::encode_error(id, &err),
+                        RequestLog::Err { kind: err.kind },
+                        "register",
+                    )
+                } else {
+                    match shared.registry.register(&desc) {
+                        Ok(entry) => (
+                            register_response(shared, id, &entry),
+                            RequestLog::Ok {
+                                cached: false,
+                                wall_ns: start.elapsed().as_nanos() as u64,
+                            },
+                            "register",
+                        ),
+                        Err(err) => (
+                            proto::encode_error(id, &err),
+                            RequestLog::Err { kind: err.kind },
+                            "register",
+                        ),
+                    }
+                }
+            }
+            Request::Query(q) => {
+                let method = q.kind.method();
+                let (response, log) = handle_query(shared, id, q);
+                (response, log, method)
+            }
+        };
+        if matches!(log, RequestLog::Err { .. }) {
+            shared.errors.fetch_add(1, Ordering::SeqCst);
+        }
+        shared.log_access(method, id, &log);
+        writeln!(writer, "{response}")?;
+    }
+}

@@ -16,6 +16,10 @@
 //!
 //! sdcheck run <file> --init VAR=VALUE... [--fuel N]
 //!     Execute the program and print the final environment.
+//!
+//! sdcheck client <op> [--addr HOST:PORT] ...
+//!     Talk to a running `sdserved` daemon: register systems, run
+//!     depends/sinks queries remotely, fetch stats, shut it down.
 //! ```
 
 use std::collections::BTreeMap;
@@ -46,6 +50,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "certify" => do_certify(&args[1..]),
         "compile" => do_compile(&args[1..]),
         "run" => do_run(&args[1..]),
+        "client" => do_client(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(ExitCode::SUCCESS)
@@ -59,7 +64,10 @@ fn usage() -> String {
      sdcheck worth <file> [--entry EXPR]\n  \
      sdcheck certify <file> --cls VAR=LEVEL... [--levels L1<L2<...]\n  \
      sdcheck compile <file>\n  \
-     sdcheck run <file> --init VAR=VALUE... [--fuel N]"
+     sdcheck run <file> --init VAR=VALUE... [--fuel N]\n  \
+     sdcheck client (ping|register|depends|sinks|stats|shutdown) [--addr HOST:PORT] ...\n      \
+     system: --system KEY | --example NAME [--params P1,P2,...] | --program FILE\n      \
+     query:  --from VAR[,VAR...] --to VAR [--phi EXPR] [--bound N] [--timeout-ms N] [--max-pairs N]"
         .to_string()
 }
 
@@ -316,4 +324,172 @@ fn do_run(args: &[String]) -> Result<ExitCode, String> {
     // Keep Phi referenced to make the core dependency explicit.
     let _ = Phi::True;
     Ok(ExitCode::SUCCESS)
+}
+
+/// `sdcheck client` — the remote counterpart of `analyze`, speaking the
+/// sd-server JSON-lines protocol to a running `sdserved`.
+fn do_client(args: &[String]) -> Result<ExitCode, String> {
+    use strong_dependency::server::{Client, QueryReq, SystemDesc};
+
+    let Some(op) = args.first() else {
+        return Err(format!("client needs an operation\n{}", usage()));
+    };
+    let mut flags: Vec<(String, String)> = Vec::new();
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{arg}`"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        flags.push((name.to_string(), value.clone()));
+    }
+    let get = |k: &str| {
+        flags
+            .iter()
+            .rev()
+            .find(|(f, _)| f == k)
+            .map(|(_, v)| v.as_str())
+    };
+
+    let addr = get("addr").unwrap_or("127.0.0.1:4177");
+    let mut c = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+
+    // The target system: an existing registry key, or a description that
+    // is registered (idempotently — same content, same key) first.
+    let desc = || -> Result<SystemDesc, String> {
+        if let Some(name) = get("example") {
+            let params = match get("params") {
+                None => Vec::new(),
+                Some(p) => p
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<i64>()
+                            .map_err(|_| format!("bad param `{s}`"))
+                    })
+                    .collect::<Result<Vec<i64>, String>>()?,
+            };
+            Ok(SystemDesc::Example {
+                name: name.to_string(),
+                params,
+            })
+        } else if let Some(file) = get("program") {
+            let source =
+                std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+            Ok(SystemDesc::Program { source })
+        } else {
+            Err("need --system KEY, --example NAME or --program FILE".to_string())
+        }
+    };
+    let system_key = |c: &mut Client| -> Result<u64, String> {
+        if let Some(key) = get("system") {
+            return key.parse().map_err(|_| format!("bad system key `{key}`"));
+        }
+        c.register(desc()?).map_err(|e| e.to_string())
+    };
+
+    // A query with the shared option flags applied.
+    let finish_query = |mut q: QueryReq| -> Result<QueryReq, String> {
+        if let Some(phi) = get("phi") {
+            q.phi = Some(phi.to_string());
+        }
+        if let Some(b) = get("bound") {
+            q.bound = Some(b.parse().map_err(|_| format!("bad bound `{b}`"))?);
+        }
+        if let Some(t) = get("timeout-ms") {
+            q.timeout_ms = Some(t.parse().map_err(|_| format!("bad timeout `{t}`"))?);
+        }
+        if let Some(m) = get("max-pairs") {
+            q.max_pairs = Some(m.parse().map_err(|_| format!("bad max-pairs `{m}`"))?);
+        }
+        Ok(q)
+    };
+    let from = || -> Result<Vec<String>, String> {
+        let src = get("from").ok_or_else(|| "--from is required".to_string())?;
+        Ok(src
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect())
+    };
+
+    match op.as_str() {
+        "ping" => {
+            c.ping().map_err(|e| e.to_string())?;
+            println!("pong ({addr})");
+            Ok(ExitCode::SUCCESS)
+        }
+        "register" => {
+            let key = c.register(desc()?).map_err(|e| e.to_string())?;
+            println!("system {key}");
+            Ok(ExitCode::SUCCESS)
+        }
+        "depends" => {
+            let key = system_key(&mut c)?;
+            let to = get("to").ok_or_else(|| "--to is required".to_string())?;
+            let req = finish_query(QueryReq::depends(key, from()?, to))?;
+            let resp = c.query(req).map_err(|e| e.to_string())?;
+            let holds = resp
+                .answer
+                .as_ref()
+                .and_then(|a| a.get("holds"))
+                .and_then(strong_dependency::server::Json::as_bool)
+                .ok_or_else(|| "malformed depends answer".to_string())?;
+            let cached = if resp.cached { " (cached)" } else { "" };
+            if holds {
+                println!("FLOW: information can be transmitted.{cached}");
+                Ok(ExitCode::from(1))
+            } else {
+                println!("NO FLOW: no history transmits information.{cached}");
+                Ok(ExitCode::SUCCESS)
+            }
+        }
+        "sinks" => {
+            let key = system_key(&mut c)?;
+            let req = finish_query(QueryReq::sinks(key, from()?))?;
+            let objs = c.sinks(req).map_err(|e| e.to_string())?;
+            println!("sinks: {}", objs.join(" "));
+            Ok(ExitCode::SUCCESS)
+        }
+        "stats" => {
+            let stats = c.stats().map_err(|e| e.to_string())?;
+            let field = |path: &[&str]| {
+                let mut v = &stats;
+                for k in path {
+                    v = v.get(k)?;
+                }
+                v.as_u64()
+            };
+            for (label, path) in [
+                ("connections", &["connections"][..]),
+                ("requests", &["requests"][..]),
+                ("errors", &["errors"][..]),
+                ("inflight", &["inflight"][..]),
+                ("cache hits", &["cache", "hits"][..]),
+                ("cache misses", &["cache", "misses"][..]),
+                ("cache entries", &["cache", "entries"][..]),
+            ] {
+                if let Some(v) = field(path) {
+                    println!("{label}: {v}");
+                }
+            }
+            if let Some(systems) = stats.get("systems").and_then(|s| s.as_arr()) {
+                println!("systems: {}", systems.len());
+                for s in systems {
+                    let key = s.get("system").and_then(|k| k.as_u64()).unwrap_or(0);
+                    let desc = s.get("desc").and_then(|d| d.as_str()).unwrap_or("?");
+                    println!("  {key}  {desc}");
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "shutdown" => {
+            c.shutdown().map_err(|e| e.to_string())?;
+            println!("server draining");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown client operation `{other}`\n{}", usage())),
+    }
 }

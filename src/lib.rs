@@ -16,6 +16,9 @@
 //!   Confinement and Security problems.
 //! - [`info`]: the §7.4 quantitative extension — entropy, transmitted
 //!   bits, channel capacity.
+//! - [`server`]: the concurrent query service — `sdserved` daemon,
+//!   JSON-lines wire protocol, system registry, result cache, and the
+//!   client library behind `sdcheck client`.
 //!
 //! See `examples/quickstart.rs` for a guided tour.
 
@@ -24,3 +27,4 @@ pub use sd_flow as flow;
 pub use sd_info as info;
 pub use sd_lang as lang;
 pub use sd_matrix as matrix;
+pub use sd_server as server;
