@@ -11,13 +11,20 @@
 //!
 //! The cold/warm throughput ratio is the headline number: it bounds
 //! what the result cache buys a repeated-query workload over the wire.
-//! Writes `BENCH_server.json`; run with
+//! Each row also reports request latency percentiles twice — as seen
+//! by the clients (round-trip) and from the server's own histograms
+//! (parse-to-write) — so queueing and loopback time are separable.
+//!
+//! A final A/B pass times the warm path with metrics enabled and
+//! disabled (`Config::metrics`) and writes the observed overhead to
+//! `BENCH_metrics_overhead.json`. Writes `BENCH_server.json`; run with
 //! `cargo run -p sd-bench --bin server_bench --release`.
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use sd_server::{Client, Config, QueryReq, ServeHandle, SystemDesc};
+use sd_core::HistogramSnapshot;
+use sd_server::{Client, Config, Method, QueryReq, ServeHandle, SystemDesc};
 
 struct PhaseRow {
     phase: &'static str,
@@ -27,14 +34,19 @@ struct PhaseRow {
     qps: f64,
     hits: u64,
     misses: u64,
+    /// Client-observed round-trip percentiles, ns: (p50, p95, p99).
+    client_ns: (u64, u64, u64),
+    /// Server-side (histogram) percentiles, ns: (p50, p95, p99).
+    server_ns: (u64, u64, u64),
 }
 
-fn server() -> ServeHandle {
+fn server(metrics: bool) -> ServeHandle {
     let cfg = Config {
         addr: "127.0.0.1:0".into(),
         workers: 4,
         queue_depth: 256,
         cache_cap: 4096,
+        metrics,
         ..Config::default()
     };
     ServeHandle::spawn(cfg).expect("bind loopback")
@@ -84,8 +96,9 @@ fn query_pool(client: &mut Client) -> Vec<QueryReq> {
 }
 
 /// Runs one phase: each client thread issues its slice of `work`
-/// sequentially; returns total requests and wall time.
-fn run_phase(addr: std::net::SocketAddr, work: &[Vec<QueryReq>]) -> (u64, f64) {
+/// sequentially; returns total requests, wall time, and every
+/// client-observed round-trip latency in ns.
+fn run_phase(addr: std::net::SocketAddr, work: &[Vec<QueryReq>]) -> (u64, f64, Vec<u64>) {
     let start = Instant::now();
     std::thread::scope(|s| {
         let handles: Vec<_> = work
@@ -93,22 +106,116 @@ fn run_phase(addr: std::net::SocketAddr, work: &[Vec<QueryReq>]) -> (u64, f64) {
             .map(|slice| {
                 s.spawn(move || {
                     let mut c = Client::connect(addr).expect("connect");
+                    let mut lat = Vec::with_capacity(slice.len());
                     for req in slice {
+                        let t = Instant::now();
                         c.query(req.clone()).expect("query succeeds");
+                        lat.push(t.elapsed().as_nanos() as u64);
                     }
-                    slice.len() as u64
+                    lat
                 })
             })
             .collect();
-        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
-        (total, start.elapsed().as_secs_f64() * 1e3)
+        let mut lat: Vec<u64> = Vec::new();
+        for h in handles {
+            lat.extend(h.join().unwrap());
+        }
+        (lat.len() as u64, start.elapsed().as_secs_f64() * 1e3, lat)
     })
+}
+
+/// Exact percentiles over the raw client latencies (nearest-rank).
+fn client_percentiles(lat: &mut [u64]) -> (u64, u64, u64) {
+    if lat.is_empty() {
+        return (0, 0, 0);
+    }
+    lat.sort_unstable();
+    let at = |num: usize, den: usize| {
+        let rank = (lat.len() * num).div_ceil(den).clamp(1, lat.len());
+        lat[rank - 1]
+    };
+    (at(50, 100), at(95, 100), at(99, 100))
+}
+
+/// Merges per-method snapshots into one and reads p50/p95/p99 off the
+/// combined buckets — the server-side view of the same phase.
+fn server_percentiles(parts: &[HistogramSnapshot]) -> (u64, u64, u64) {
+    let mut merged: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    let mut count = 0u64;
+    let mut sum = 0u64;
+    for s in parts {
+        count += s.count;
+        sum = sum.wrapping_add(s.sum);
+        for &(upper, n) in &s.buckets {
+            *merged.entry(upper).or_insert(0) += n;
+        }
+    }
+    let snap = HistogramSnapshot {
+        count,
+        sum,
+        buckets: merged.into_iter().collect(),
+    };
+    (
+        snap.quantile(50, 100),
+        snap.quantile(95, 100),
+        snap.quantile(99, 100),
+    )
+}
+
+/// Server-side percentiles for one phase: the cold phase lands in the
+/// `cold=true` histograms and the warm phase in `cold=false`, so the
+/// two phases separate cleanly without resetting anything.
+fn phase_server_ns(handle: &ServeHandle, cold: bool) -> (u64, u64, u64) {
+    // Observation happens after the response is written; give the last
+    // in-flight observes a moment to land before snapshotting.
+    std::thread::sleep(Duration::from_millis(50));
+    let m = handle.metrics();
+    server_percentiles(&[
+        m.duration_snapshot(Method::Depends, cold),
+        m.duration_snapshot(Method::Sinks, cold),
+    ])
+}
+
+/// The metrics-overhead A/B: identical warm-path runs against a server
+/// with metrics on and off; best-of-N throughput on each side so the
+/// comparison is between the two fast paths, not between noise floors.
+fn overhead_ab(pool_passes: usize, repeats: usize) -> (f64, f64) {
+    let concurrency = 4;
+    let mut best = [0f64, 0f64];
+    for (slot, metrics_on) in [(0usize, true), (1usize, false)] {
+        let handle = server(metrics_on);
+        let addr = handle.local_addr();
+        let mut c = Client::connect(addr).expect("connect");
+        let pool = query_pool(&mut c);
+        // Fill the cache so every timed request is a warm replay.
+        let cold: Vec<Vec<QueryReq>> = (0..concurrency)
+            .map(|i| pool.iter().skip(i).step_by(concurrency).cloned().collect())
+            .collect();
+        run_phase(addr, &cold);
+        let warm: Vec<Vec<QueryReq>> = (0..concurrency)
+            .map(|_| {
+                std::iter::repeat_with(|| pool.clone())
+                    .take(pool_passes)
+                    .flatten()
+                    .collect()
+            })
+            .collect();
+        for _ in 0..repeats {
+            let (reqs, ms, _) = run_phase(addr, &warm);
+            let qps = f64::from(reqs as u32) / (ms / 1e3);
+            if qps > best[slot] {
+                best[slot] = qps;
+            }
+        }
+        handle.shutdown();
+    }
+    (best[0], best[1])
 }
 
 fn main() {
     let mut rows: Vec<PhaseRow> = Vec::new();
     for concurrency in [1usize, 2, 4, 8] {
-        let handle = server();
+        let handle = server(true);
         let addr = handle.local_addr();
         let mut c = Client::connect(addr).expect("connect");
         let pool = query_pool(&mut c);
@@ -118,7 +225,7 @@ fn main() {
         let cold_work: Vec<Vec<QueryReq>> = (0..concurrency)
             .map(|i| pool.iter().skip(i).step_by(concurrency).cloned().collect())
             .collect();
-        let (cold_reqs, cold_ms) = run_phase(addr, &cold_work);
+        let (cold_reqs, cold_ms, mut cold_lat) = run_phase(addr, &cold_work);
         let cold_stats = handle.cache_stats();
         rows.push(PhaseRow {
             phase: "cold",
@@ -128,11 +235,13 @@ fn main() {
             qps: f64::from(cold_reqs as u32) / (cold_ms / 1e3),
             hits: cold_stats.hits,
             misses: cold_stats.misses,
+            client_ns: client_percentiles(&mut cold_lat),
+            server_ns: phase_server_ns(&handle, true),
         });
 
         // Warm: every client replays the whole pool — all cache hits.
         let warm_work: Vec<Vec<QueryReq>> = (0..concurrency).map(|_| pool.clone()).collect();
-        let (warm_reqs, warm_ms) = run_phase(addr, &warm_work);
+        let (warm_reqs, warm_ms, mut warm_lat) = run_phase(addr, &warm_work);
         let warm_stats = handle.cache_stats();
         rows.push(PhaseRow {
             phase: "warm",
@@ -142,13 +251,19 @@ fn main() {
             qps: f64::from(warm_reqs as u32) / (warm_ms / 1e3),
             hits: warm_stats.hits - cold_stats.hits,
             misses: warm_stats.misses - cold_stats.misses,
+            client_ns: client_percentiles(&mut warm_lat),
+            server_ns: phase_server_ns(&handle, false),
         });
         handle.shutdown();
+        let (w, c) = (&rows[rows.len() - 1], &rows[rows.len() - 2]);
         println!(
-            "concurrency {concurrency}: cold {:.0} q/s, warm {:.0} q/s ({}x)",
-            rows[rows.len() - 2].qps,
-            rows[rows.len() - 1].qps,
-            (rows[rows.len() - 1].qps / rows[rows.len() - 2].qps).round(),
+            "concurrency {concurrency}: cold {:.0} q/s, warm {:.0} q/s ({}x); \
+             warm p50 client {} ns / server {} ns",
+            c.qps,
+            w.qps,
+            (w.qps / c.qps).round(),
+            w.client_ns.0,
+            w.server_ns.0,
         );
     }
 
@@ -157,7 +272,9 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"phase\": \"{}\", \"concurrency\": {}, \"requests\": {}, \"wall_ms\": {:.3}, \"qps\": {:.0}, \"cache_hits\": {}, \"cache_misses\": {}}}{}",
+            "    {{\"phase\": \"{}\", \"concurrency\": {}, \"requests\": {}, \"wall_ms\": {:.3}, \"qps\": {:.0}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"client_p50_ns\": {}, \"client_p95_ns\": {}, \"client_p99_ns\": {}, \
+             \"server_p50_ns\": {}, \"server_p95_ns\": {}, \"server_p99_ns\": {}}}{}",
             r.phase,
             r.concurrency,
             r.requests,
@@ -165,10 +282,29 @@ fn main() {
             r.qps,
             r.hits,
             r.misses,
+            r.client_ns.0,
+            r.client_ns.1,
+            r.client_ns.2,
+            r.server_ns.0,
+            r.server_ns.1,
+            r.server_ns.2,
             if i + 1 == rows.len() { "" } else { "," },
         );
     }
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
     println!("wrote BENCH_server.json");
+
+    let (on_qps, off_qps) = overhead_ab(4, 3);
+    let overhead_pct = (off_qps - on_qps) / off_qps * 100.0;
+    let ab = format!(
+        "{{\n  \"benchmark\": \"server_metrics_overhead\",\n  \"phase\": \"warm\",\n  \
+         \"concurrency\": 4,\n  \"metrics_on_qps\": {on_qps:.0},\n  \
+         \"metrics_off_qps\": {off_qps:.0},\n  \"overhead_pct\": {overhead_pct:.2}\n}}\n"
+    );
+    std::fs::write("BENCH_metrics_overhead.json", &ab).expect("write BENCH_metrics_overhead.json");
+    println!(
+        "metrics overhead: on {on_qps:.0} q/s, off {off_qps:.0} q/s ({overhead_pct:.2}%); \
+         wrote BENCH_metrics_overhead.json"
+    );
 }

@@ -193,6 +193,22 @@ impl JsonBuf {
         self
     }
 
+    /// Pushes an unsigned integer as the next array element.
+    pub fn u64_elem(&mut self, v: u64) -> &mut Self {
+        self.comma();
+        let _ = write!(self.buf, "{v}");
+        self.need_comma = true;
+        self
+    }
+
+    /// Pushes pre-serialised JSON as the next array element, verbatim.
+    pub fn raw_elem(&mut self, raw_json: &str) -> &mut Self {
+        self.comma();
+        self.buf.push_str(raw_json);
+        self.need_comma = true;
+        self
+    }
+
     /// Opens an array as the next array element (nested arrays).
     pub fn begin_arr_elem(&mut self) -> &mut Self {
         self.comma();

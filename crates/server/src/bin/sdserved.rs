@@ -3,13 +3,18 @@
 //! ```text
 //! sdserved [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!          [--cache-cap N] [--registry-cap N] [--max-timeout-ms N]
+//!          [--slow-ms N] [--slowlog-cap N] [--no-metrics]
 //!          [--access-log PATH|-] [--telemetry]
 //! ```
 //!
 //! Runs until a client sends `shutdown`. `--access-log -` writes the
 //! JSON-lines access log to stderr; `--telemetry` streams query
 //! telemetry events (compiles, cache hits/misses, per-query reports)
-//! to stderr as JSON lines.
+//! to stderr as JSON lines. Requests slower than `--slow-ms`
+//! (default 100) are captured in the in-memory slow-query ring
+//! (`slowlog` method; `--slowlog-cap` entries) and appended to the
+//! access log stream when one is configured. `--no-metrics` disables
+//! all metric recording (the A/B baseline for overhead measurements).
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -23,6 +28,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: sdserved [--addr HOST:PORT] [--workers N] [--queue-depth N] \
          [--cache-cap N] [--registry-cap N] [--max-timeout-ms N] \
+         [--slow-ms N] [--slowlog-cap N] [--no-metrics] \
          [--access-log PATH|-] [--telemetry]"
     );
     ExitCode::from(2)
@@ -47,7 +53,7 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--workers" | "--queue-depth" | "--cache-cap" | "--registry-cap"
-            | "--max-timeout-ms" => {
+            | "--max-timeout-ms" | "--slow-ms" | "--slowlog-cap" => {
                 let Some(v) = take(&mut i) else {
                     return usage();
                 };
@@ -60,8 +66,13 @@ fn main() -> ExitCode {
                     "--queue-depth" => cfg.queue_depth = n as usize,
                     "--cache-cap" => cfg.cache_cap = n as usize,
                     "--registry-cap" => cfg.registry_cap = n as usize,
+                    "--slow-ms" => cfg.slow_ms = n,
+                    "--slowlog-cap" => cfg.slowlog_cap = n as usize,
                     _ => cfg.max_timeout = Duration::from_millis(n),
                 }
+            }
+            "--no-metrics" => {
+                cfg.metrics = false;
             }
             "--access-log" => {
                 let Some(path) = take(&mut i) else {

@@ -180,6 +180,46 @@ impl Client {
         self.call(Request::Stats).map(|r| r.body)
     }
 
+    /// Scrapes the metric families as structured JSON (the response's
+    /// `metrics` object).
+    pub fn metrics(&mut self) -> Result<Json, ClientError> {
+        let resp = self.call(Request::Metrics { prom: false })?;
+        resp.body
+            .get("metrics")
+            .cloned()
+            .ok_or_else(|| ClientError {
+                kind: ErrorKind::Protocol,
+                message: "metrics response missing `metrics`".into(),
+            })
+    }
+
+    /// Scrapes the metric families as a Prometheus text exposition.
+    pub fn metrics_prom(&mut self) -> Result<String, ClientError> {
+        let resp = self.call(Request::Metrics { prom: true })?;
+        resp.body
+            .get("text")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError {
+                kind: ErrorKind::Protocol,
+                message: "metrics response missing `text`".into(),
+            })
+    }
+
+    /// Fetches the most recent slow-query entries (oldest first).
+    pub fn slowlog(&mut self, limit: Option<u64>) -> Result<Vec<Json>, ClientError> {
+        let resp = self.call(Request::SlowLog { limit })?;
+        let entries = resp
+            .body
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ClientError {
+                kind: ErrorKind::Protocol,
+                message: "slowlog response missing `entries`".into(),
+            })?;
+        Ok(entries.to_vec())
+    }
+
     /// Asks the server to shut down gracefully.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         self.call(Request::Shutdown).map(|_| ())

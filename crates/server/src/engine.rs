@@ -12,6 +12,7 @@ use sd_core::{Error, ObjSet, Phi, Query, QueryEvent, QueryReport, Sink};
 use sd_lang::lower_phi;
 
 use crate::cache::ResultCache;
+use crate::metrics::{Phase, RequestTrace};
 use crate::proto::{self, ErrorKind, QueryKind, QueryReq, WireError};
 use crate::registry::SystemEntry;
 
@@ -110,18 +111,28 @@ fn build_query(
 /// `max_timeout` caps (and defaults) the per-request deadline — the
 /// server's robustness floor against requests that would otherwise pin
 /// a worker forever.
+///
+/// `trace` attributes the stage costs to request phases: query
+/// construction (φ lowering, name resolution) is `compile`, the
+/// fingerprint probe is `cache`, the pair search is `search`, and
+/// answer encoding is `serialize`. Any fresh successor-table compile
+/// triggered inside `Query::run` lands in `search` here; the dedicated
+/// compile accounting for it comes from the telemetry stream
+/// (`CompileFinish.wall_ns`) instead, which is why `QueryReport.wall_ns`
+/// excluding compile time no longer loses information at the server.
 pub fn execute_query(
     entry: &SystemEntry,
     cache: &ResultCache,
     sink: Option<&Arc<dyn Sink>>,
     req: &QueryReq,
     max_timeout: Duration,
+    trace: &mut RequestTrace,
 ) -> Result<ExecOutcome, WireError> {
-    let q = build_query(entry, req, max_timeout)?;
+    let q = trace.time(Phase::Compile, || build_query(entry, req, max_timeout))?;
     let fingerprint = q.fingerprint();
     if let Some(fp) = fingerprint {
         let key = (u128::from(entry.key) << 64) | u128::from(fp);
-        if let Some(answer) = cache.get(key) {
+        if let Some(answer) = trace.time(Phase::Cache, || cache.get(key)) {
             if let Some(s) = sink {
                 s.record(&QueryEvent::ResultCacheHit { key: fp });
             }
@@ -136,11 +147,15 @@ pub fn execute_query(
             s.record(&QueryEvent::ResultCacheMiss { key: fp });
         }
     }
-    let outcome = q.run(&entry.oracle).map_err(core_error)?;
-    let answer: Arc<str> = Arc::from(proto::encode_answer(entry.system, &outcome));
+    let outcome = trace
+        .time(Phase::Search, || q.run(&entry.oracle))
+        .map_err(core_error)?;
+    let answer: Arc<str> = trace.time(Phase::Serialize, || {
+        Arc::from(proto::encode_answer(entry.system, &outcome))
+    });
     if let Some(fp) = fingerprint {
         let key = (u128::from(entry.key) << 64) | u128::from(fp);
-        cache.insert(key, Arc::clone(&answer));
+        trace.time(Phase::Cache, || cache.insert(key, Arc::clone(&answer)));
     }
     Ok(ExecOutcome {
         answer,
@@ -164,6 +179,16 @@ mod tests {
             params: vec![2],
         })
         .unwrap()
+        .0
+    }
+
+    fn run(
+        entry: &SystemEntry,
+        cache: &ResultCache,
+        req: &QueryReq,
+    ) -> Result<ExecOutcome, WireError> {
+        let mut trace = RequestTrace::start();
+        execute_query(entry, cache, None, req, Duration::from_secs(5), &mut trace)
     }
 
     fn depends_req(entry: &SystemEntry, phi: &str) -> QueryReq {
@@ -177,8 +202,18 @@ mod tests {
         let entry = entry();
         let cache = ResultCache::new(8);
         let req = depends_req(&entry, "m");
-        let cold = execute_query(&entry, &cache, None, &req, Duration::from_secs(5)).unwrap();
-        let warm = execute_query(&entry, &cache, None, &req, Duration::from_secs(5)).unwrap();
+        let mut trace = RequestTrace::start();
+        let cold = execute_query(
+            &entry,
+            &cache,
+            None,
+            &req,
+            Duration::from_secs(5),
+            &mut trace,
+        )
+        .unwrap();
+        assert!(trace.phase_ns(Phase::Search) > 0, "search phase timed");
+        let warm = run(&entry, &cache, &req).unwrap();
         assert!(!cold.cached);
         assert!(warm.cached);
         assert_eq!(&*cold.answer, &*warm.answer);
@@ -191,10 +226,10 @@ mod tests {
         let entry = entry();
         let cache = ResultCache::new(8);
         let mut req = depends_req(&entry, "m");
-        execute_query(&entry, &cache, None, &req, Duration::from_secs(5)).unwrap();
+        run(&entry, &cache, &req).unwrap();
         req.timeout_ms = Some(4000);
         req.max_pairs = Some(1 << 40);
-        let warm = execute_query(&entry, &cache, None, &req, Duration::from_secs(5)).unwrap();
+        let warm = run(&entry, &cache, &req).unwrap();
         assert!(warm.cached, "limits must not change the fingerprint");
     }
 
@@ -203,7 +238,7 @@ mod tests {
         let entry = entry();
         let cache = ResultCache::new(8);
         let req = QueryReq::depends(entry.key, vec!["nope".into()], "beta");
-        let err = execute_query(&entry, &cache, None, &req, Duration::from_secs(5)).unwrap_err();
+        let err = run(&entry, &cache, &req).unwrap_err();
         assert_eq!(err.kind, ErrorKind::Invalid);
         assert!(err.message.contains("nope"));
     }
@@ -214,7 +249,7 @@ mod tests {
         let cache = ResultCache::new(8);
         let mut req = QueryReq::sinks(entry.key, vec!["alpha".into()]);
         req.max_pairs = Some(0);
-        let err = execute_query(&entry, &cache, None, &req, Duration::from_secs(5)).unwrap_err();
+        let err = run(&entry, &cache, &req).unwrap_err();
         assert_eq!(err.kind, ErrorKind::Budget);
     }
 
@@ -224,10 +259,10 @@ mod tests {
         let cache = ResultCache::new(8);
         let mut req = QueryReq::sinks(entry.key, vec!["alpha".into()]);
         req.max_pairs = Some(0);
-        let _ = execute_query(&entry, &cache, None, &req, Duration::from_secs(5));
+        let _ = run(&entry, &cache, &req);
         // Same semantic query, no budget: must run and succeed.
         req.max_pairs = None;
-        let out = execute_query(&entry, &cache, None, &req, Duration::from_secs(5)).unwrap();
+        let out = run(&entry, &cache, &req).unwrap();
         assert!(!out.cached);
         assert!(out.report.is_some());
     }

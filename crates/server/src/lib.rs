@@ -22,6 +22,10 @@
 //!   repeat queries replay byte-identically without searching;
 //! - [`engine`] — the pure request-execution path (resolve, lower φ,
 //!   fingerprint, cache, run, serialise);
+//! - [`metrics`] — server observability: per-method/per-outcome request
+//!   counters, cold/warm latency histograms, six-phase request traces,
+//!   rolled-up query-cost counters, the slow-query ring, and the
+//!   Prometheus/JSON scrape renderers;
 //! - [`server`] — the TCP daemon: bounded admission queue, fixed worker
 //!   pool, per-request deadlines/budgets, graceful draining shutdown,
 //!   JSON-lines access log;
@@ -34,6 +38,7 @@
 pub mod cache;
 pub mod client;
 pub mod engine;
+pub mod metrics;
 pub mod proto;
 pub mod registry;
 pub mod server;
@@ -41,6 +46,9 @@ pub mod wire;
 
 pub use crate::cache::{CacheStats, ResultCache};
 pub use crate::client::{Client, ClientError};
+pub use crate::metrics::{
+    Method, MetricsSink, Phase, RequestObs, RequestTrace, ScrapeGauges, ServerMetrics, SlowEntry,
+};
 pub use crate::proto::{
     ErrorKind, Frame, QueryKind, QueryReq, Request, ResponseFrame, SystemDesc, WireError, MAX_FRAME,
 };

@@ -12,6 +12,8 @@
 //! | `sinks`        | `system`, `a`, `phi?`, limits                                 |
 //! | `sinks_matrix` | `system`, `sources`, `phi?`, limits                           |
 //! | `stats`        | —                                                             |
+//! | `metrics`      | `format?` (`"json"` default, or `"prometheus"`)               |
+//! | `slowlog`      | `limit?` (most recent N slow queries; default all buffered)   |
 //! | `shutdown`     | —                                                             |
 //!
 //! Limits are `timeout_ms` and `max_pairs`, mapped onto
@@ -272,6 +274,17 @@ pub enum Request {
     Query(QueryReq),
     /// Server counters snapshot.
     Stats,
+    /// Metric-families scrape. `prom` selects the Prometheus text
+    /// exposition; otherwise the response carries structured JSON.
+    Metrics {
+        /// `true` ⇒ `"format":"prometheus"`.
+        prom: bool,
+    },
+    /// The most recent slow-query entries, oldest first.
+    SlowLog {
+        /// Cap on returned entries; `None` ⇒ the whole ring.
+        limit: Option<u64>,
+    },
     /// Begin graceful shutdown.
     Shutdown,
 }
@@ -337,6 +350,34 @@ pub fn parse_frame(line: &str) -> Result<Frame, WireError> {
         "ping" => Request::Ping,
         "stats" => Request::Stats,
         "shutdown" => Request::Shutdown,
+        "metrics" => {
+            let prom = match v.get("format") {
+                None | Some(Json::Null) => false,
+                Some(f) => match f.as_str() {
+                    Some("json") => false,
+                    Some("prometheus") | Some("prom") => true,
+                    _ => {
+                        return Err(WireError::new(
+                            ErrorKind::Protocol,
+                            "field `format` must be \"json\" or \"prometheus\"",
+                        ))
+                    }
+                },
+            };
+            Request::Metrics { prom }
+        }
+        "slowlog" => {
+            let limit = match v.get("limit") {
+                None | Some(Json::Null) => None,
+                Some(l) => Some(l.as_u64().ok_or_else(|| {
+                    WireError::new(
+                        ErrorKind::Protocol,
+                        "field `limit` must be an unsigned integer",
+                    )
+                })?),
+            };
+            Request::SlowLog { limit }
+        }
         "register" => {
             let desc = match (v.get("example"), v.get("program")) {
                 (Some(name), None) => {
@@ -511,6 +552,18 @@ pub fn encode_frame(frame: &Frame) -> String {
         }
         Request::Shutdown => {
             j.str_field("method", "shutdown");
+        }
+        Request::Metrics { prom } => {
+            j.str_field("method", "metrics");
+            if *prom {
+                j.str_field("format", "prometheus");
+            }
+        }
+        Request::SlowLog { limit } => {
+            j.str_field("method", "slowlog");
+            if let Some(l) = limit {
+                j.u64_field("limit", *l);
+            }
         }
         Request::Register(desc) => {
             j.str_field("method", "register");
@@ -778,6 +831,41 @@ mod tests {
             let line = encode_frame(&frame);
             assert_eq!(parse_frame(&line).unwrap().req, Request::Register(desc));
         }
+    }
+
+    #[test]
+    fn metrics_and_slowlog_round_trip() {
+        for req in [
+            Request::Metrics { prom: false },
+            Request::Metrics { prom: true },
+            Request::SlowLog { limit: None },
+            Request::SlowLog { limit: Some(16) },
+        ] {
+            let frame = Frame {
+                id: Some(1),
+                req: req.clone(),
+            };
+            assert_eq!(parse_frame(&encode_frame(&frame)).unwrap().req, req);
+        }
+        // `"format":"prom"` is accepted as an alias; garbage is not.
+        assert_eq!(
+            parse_frame(r#"{"method":"metrics","format":"prom"}"#)
+                .unwrap()
+                .req,
+            Request::Metrics { prom: true }
+        );
+        assert_eq!(
+            parse_frame(r#"{"method":"metrics","format":"xml"}"#)
+                .unwrap_err()
+                .kind,
+            ErrorKind::Protocol
+        );
+        assert_eq!(
+            parse_frame(r#"{"method":"slowlog","limit":"x"}"#)
+                .unwrap_err()
+                .kind,
+            ErrorKind::Protocol
+        );
     }
 
     #[test]

@@ -118,12 +118,15 @@ impl Registry {
     }
 
     /// Registers (or looks up) the system described by `desc`. Same
-    /// content ⇒ same entry, compiled exactly once.
-    pub fn register(&self, desc: &SystemDesc) -> Result<Arc<SystemEntry>, WireError> {
+    /// content ⇒ same entry, compiled exactly once. The returned flag is
+    /// `true` when this call actually built the system (a *cold*
+    /// registration) and `false` when it found an existing entry — the
+    /// server labels registration latency with it.
+    pub fn register(&self, desc: &SystemDesc) -> Result<(Arc<SystemEntry>, bool), WireError> {
         let key = desc.content_key();
         let mut entries = self.entries.lock().expect("registry lock");
         if let Some(entry) = entries.get(&key) {
-            return Ok(Arc::clone(entry));
+            return Ok((Arc::clone(entry), false));
         }
         if entries.len() >= self.cap {
             return Err(WireError::new(
@@ -144,7 +147,7 @@ impl Registry {
             oracle,
         });
         entries.insert(key, Arc::clone(&entry));
-        Ok(entry)
+        Ok((entry, true))
     }
 
     /// Looks up a registered system by key.
@@ -175,6 +178,11 @@ impl Registry {
         self.entries.lock().expect("registry lock").len()
     }
 
+    /// Maximum number of systems the registry admits.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
     /// Whether no system is registered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -195,9 +203,11 @@ mod tests {
     #[test]
     fn same_content_compiles_once() {
         let reg = Registry::new(4, CompileBudget::default(), None);
-        let a = reg.register(&desc(2)).unwrap();
-        let b = reg.register(&desc(2)).unwrap();
+        let (a, fresh_a) = reg.register(&desc(2)).unwrap();
+        let (b, fresh_b) = reg.register(&desc(2)).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
+        assert!(fresh_a, "first registration builds");
+        assert!(!fresh_b, "second registration reuses");
         assert_eq!(a.oracle.stats().compiles, 1);
         assert_eq!(reg.len(), 1);
     }
@@ -205,10 +215,11 @@ mod tests {
     #[test]
     fn distinct_content_distinct_entries() {
         let reg = Registry::new(4, CompileBudget::default(), None);
-        let a = reg.register(&desc(2)).unwrap();
-        let b = reg.register(&desc(3)).unwrap();
+        let (a, _) = reg.register(&desc(2)).unwrap();
+        let (b, _) = reg.register(&desc(3)).unwrap();
         assert_ne!(a.key, b.key);
         assert_eq!(reg.len(), 2);
+        assert_eq!(reg.cap(), 4);
     }
 
     #[test]
@@ -236,7 +247,7 @@ mod tests {
     #[test]
     fn program_registration_compiles() {
         let reg = Registry::new(4, CompileBudget::default(), None);
-        let entry = reg
+        let (entry, _) = reg
             .register(&SystemDesc::Program {
                 source: "var x: bool; var y: bool;\ny := x;".into(),
             })

@@ -105,6 +105,14 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The members in source order, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
 }
 
 /// Parses one complete JSON value; trailing non-whitespace is an error.

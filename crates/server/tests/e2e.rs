@@ -24,6 +24,7 @@ fn spawn(sink: Option<Arc<RecordingSink>>) -> ServeHandle {
         budget: CompileBudget::default(),
         sink: sink.map(|s| s as Arc<dyn sd_core::Sink>),
         access_log: None,
+        ..Config::default()
     };
     ServeHandle::spawn(cfg).expect("bind loopback")
 }

@@ -85,6 +85,10 @@ fn arb_request() -> impl Strategy<Value = Request> {
         Just(Request::Ping),
         Just(Request::Stats),
         Just(Request::Shutdown),
+        (0u32..2).prop_map(|prom| Request::Metrics { prom: prom == 1 }),
+        (0u32..2, 0u64..100_000).prop_map(|(has, n)| Request::SlowLog {
+            limit: (has == 1).then_some(n)
+        }),
         arb_desc().prop_map(Request::Register),
         arb_query().prop_map(Request::Query),
     ]
@@ -188,6 +192,12 @@ fn malformed_frame_catalogue() {
             r#"{"method":"sinks","system":1,"timeout_ms":-5}"#,
             ErrorKind::Protocol,
         ),
+        (
+            r#"{"method":"metrics","format":"xml"}"#,
+            ErrorKind::Protocol,
+        ),
+        (r#"{"method":"slowlog","limit":-3}"#, ErrorKind::Protocol),
+        (r#"{"method":"slowlog","limit":"all"}"#, ErrorKind::Protocol),
     ];
     for (line, want) in cases {
         let got = parse_frame(line).expect_err(line).kind;

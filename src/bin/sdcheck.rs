@@ -65,9 +65,10 @@ fn usage() -> String {
      sdcheck certify <file> --cls VAR=LEVEL... [--levels L1<L2<...]\n  \
      sdcheck compile <file>\n  \
      sdcheck run <file> --init VAR=VALUE... [--fuel N]\n  \
-     sdcheck client (ping|register|depends|sinks|stats|shutdown) [--addr HOST:PORT] ...\n      \
+     sdcheck client (ping|register|depends|sinks|stats|metrics|slowlog|shutdown) [--addr HOST:PORT] ...\n      \
      system: --system KEY | --example NAME [--params P1,P2,...] | --program FILE\n      \
-     query:  --from VAR[,VAR...] --to VAR [--phi EXPR] [--bound N] [--timeout-ms N] [--max-pairs N]"
+     query:  --from VAR[,VAR...] --to VAR [--phi EXPR] [--bound N] [--timeout-ms N] [--max-pairs N]\n      \
+     scrape: metrics [--prom] | slowlog [--limit N]"
         .to_string()
 }
 
@@ -340,6 +341,11 @@ fn do_client(args: &[String]) -> Result<ExitCode, String> {
         let Some(name) = arg.strip_prefix("--") else {
             return Err(format!("unexpected argument `{arg}`"));
         };
+        // `--prom` is a boolean switch; every other flag takes a value.
+        if name == "prom" {
+            flags.push((name.to_string(), "true".to_string()));
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("flag --{name} needs a value"))?;
@@ -483,6 +489,81 @@ fn do_client(args: &[String]) -> Result<ExitCode, String> {
                     println!("  {key}  {desc}");
                 }
             }
+            Ok(ExitCode::SUCCESS)
+        }
+        "metrics" => {
+            use strong_dependency::server::Json;
+            if get("prom").is_some() {
+                // Raw Prometheus exposition, ready to pipe into a file
+                // or a scrape-format validator.
+                let text = c.metrics_prom().map_err(|e| e.to_string())?;
+                print!("{text}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            let m = c.metrics().map_err(|e| e.to_string())?;
+            let u64_at = |v: &Json, path: &[&str]| {
+                let mut v = v.clone();
+                for k in path {
+                    v = v.get(k)?.clone();
+                }
+                v.as_u64()
+            };
+            if let Some(up) = u64_at(&m, &["uptime_s"]) {
+                println!("uptime_s: {up}");
+            }
+            if let Some(reqs) = m.get("requests").and_then(|r| r.as_obj()) {
+                println!("requests:");
+                for (method, outcomes) in reqs {
+                    if let Some(outcomes) = outcomes.as_obj() {
+                        let cells: Vec<String> = outcomes
+                            .iter()
+                            .filter_map(|(o, n)| n.as_u64().map(|n| format!("{o}={n}")))
+                            .collect();
+                        println!("  {method}: {}", cells.join(" "));
+                    }
+                }
+            }
+            if let Some(durs) = m.get("durations").and_then(|d| d.as_obj()) {
+                println!("latency (ns):");
+                for (method, by_temp) in durs {
+                    if let Some(by_temp) = by_temp.as_obj() {
+                        for (temp, snap) in by_temp {
+                            let (p50, p99, count) = (
+                                u64_at(snap, &["p50_ns"]).unwrap_or(0),
+                                u64_at(snap, &["p99_ns"]).unwrap_or(0),
+                                u64_at(snap, &["count"]).unwrap_or(0),
+                            );
+                            println!("  {method}/{temp}: count={count} p50={p50} p99={p99}");
+                        }
+                    }
+                }
+            }
+            for (label, path) in [
+                ("cache hits", &["cache", "hits"][..]),
+                ("cache misses", &["cache", "misses"][..]),
+                ("oracle compiles", &["oracle", "compiles"][..]),
+                ("partition hits", &["oracle", "partition_hits"][..]),
+                ("slow queries", &["slowlog", "captured"][..]),
+                ("access log dropped", &["access_log_dropped"][..]),
+            ] {
+                if let Some(v) = u64_at(&m, path) {
+                    println!("{label}: {v}");
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "slowlog" => {
+            use strong_dependency::server::Request;
+            let limit = match get("limit") {
+                None => None,
+                Some(l) => Some(l.parse::<u64>().map_err(|_| format!("bad limit `{l}`"))?),
+            };
+            // Print the raw response line: each entry is a complete
+            // slow-query JSON object with its phase breakdown.
+            let (_, raw) = c
+                .call_raw(Request::SlowLog { limit })
+                .map_err(|e| e.to_string())?;
+            println!("{raw}");
             Ok(ExitCode::SUCCESS)
         }
         "shutdown" => {
